@@ -1,0 +1,31 @@
+"""Shared fixtures for the figure/table benchmark harnesses.
+
+Benchmarks run at "full" reproduction scale (32 MiB datasets, 8 MiB chunk
+payloads — the paper's sizes scaled by ~200x; all reported effects are
+per-byte ratios, which scaling preserves). The expensive apps-x-engines
+matrix is computed once per session and shared.
+"""
+
+import pytest
+
+from repro.bench import BenchSettings, run_matrix
+from repro.engines import EngineConfig
+from repro.units import MiB
+
+FULL = BenchSettings(
+    data_bytes=32 * MiB,
+    seed=7,
+    # 2 MiB chunk payloads give every app 15+ pipeline chunks at this
+    # dataset size, so steady-state overlap (not pipeline fill) dominates
+    config=EngineConfig(chunk_bytes=2 * MiB),
+)
+
+
+@pytest.fixture(scope="session")
+def settings():
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def matrix(settings):
+    return run_matrix(settings)

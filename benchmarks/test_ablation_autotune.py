@@ -1,0 +1,66 @@
+"""Ablation: per-scheme configuration tuning.
+
+The paper configures each implementation with its empirically best thread
+count and buffer sizes (Section VI). This bench reproduces that
+methodology with the autotuner and reports how much tuning matters —
+and that the headline comparison (BigKernel vs double buffering) holds
+when *both* sides get their best configurations.
+"""
+
+from repro.apps import get_app
+from repro.bench.report import render_table
+from repro.bench.sweep import autotune
+from repro.engines import BigKernelEngine, EngineConfig, GpuDoubleBufferEngine
+from repro.units import MiB
+
+GRID = {"chunk_bytes": [512 * 1024, 1 * MiB, 2 * MiB, 4 * MiB]}
+
+
+def test_autotuned_comparison(benchmark):
+    def run():
+        out = {}
+        for app_name in ("kmeans", "netflix", "wordcount"):
+            app = get_app(app_name)
+            data = app.generate(n_bytes=16 * MiB, seed=7)
+            base = EngineConfig(chunk_bytes=512 * 1024)
+            rows = {}
+            for engine in (GpuDoubleBufferEngine(), BigKernelEngine()):
+                cfg, sweep_res = autotune(engine, app, data, base, grid=GRID)
+                default_t = engine.run(app, data, base).sim_time
+                rows[engine.name] = (
+                    default_t,
+                    sweep_res.best.sim_time,
+                    cfg.chunk_bytes,
+                )
+            out[app_name] = rows
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    printable = []
+    for app_name, rows in results.items():
+        for engine, (default_t, best_t, chunk) in rows.items():
+            printable.append(
+                [
+                    app_name,
+                    engine,
+                    f"{default_t * 1e3:.2f} ms",
+                    f"{best_t * 1e3:.2f} ms",
+                    f"{chunk // 1024} KiB",
+                    f"{default_t / best_t:.2f}x",
+                ]
+            )
+    print("\n" + render_table(
+        ["app", "engine", "default (512 KiB)", "tuned", "best chunk", "tuning gain"],
+        printable,
+        title="Ablation: per-scheme configuration tuning",
+    ))
+
+    for app_name, rows in results.items():
+        # tuning never hurts
+        for engine, (default_t, best_t, _) in rows.items():
+            assert best_t <= default_t * 1.001, (app_name, engine)
+        # the headline holds with both sides at their best
+        assert (
+            rows["bigkernel"][1] < rows["gpu_double"][1]
+        ), f"BigKernel must win tuned-vs-tuned on {app_name}"

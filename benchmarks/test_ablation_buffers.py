@@ -1,0 +1,68 @@
+"""Ablation: buffer sizing and ring depth.
+
+The paper configures each implementation with the buffer sizes that give
+the best execution time (Section VI) and argues (Section IV-D) that
+allocating buffers only for *active* thread blocks lets them be larger,
+"potentially improving performance by reducing the number of
+synchronization points". This bench sweeps both knobs.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.bench.report import render_table
+from repro.engines import BigKernelEngine, EngineConfig
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def workload():
+    app = get_app("kmeans")
+    data = app.generate(n_bytes=32 * MiB, seed=7)
+    return app, data
+
+
+def test_chunk_size_sweep(benchmark, workload):
+    """Larger chunks amortize per-chunk latency until memory pressure."""
+    app, data = workload
+    engine = BigKernelEngine()
+    sizes = [256 * 1024, 1 * MiB, 4 * MiB, 8 * MiB, 16 * MiB]
+
+    def sweep():
+        return {
+            s: engine.run(app, data, EngineConfig(chunk_bytes=s)).sim_time
+            for s in sizes
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[f"{s // 1024} KiB", f"{t * 1e3:.3f} ms"] for s, t in times.items()]
+    print("\n" + render_table(["chunk payload", "sim time"], rows,
+                              title="Ablation: chunk-size sweep (K-means)"))
+    # the sweep is U-shaped: small chunks pay per-chunk DMA latency and
+    # synchronization; huge chunks leave too few chunks to pipeline
+    best = min(times, key=times.get)
+    assert best not in (sizes[0], sizes[-1])
+    assert times[best] < times[256 * 1024]
+    assert times[best] < times[16 * MiB]
+
+
+def test_ring_depth_sweep(benchmark, workload):
+    """Deeper rings decouple jittery stages; two instances is the minimum."""
+    app, data = workload
+    engine = BigKernelEngine()
+    depths = [2, 3, 4, 6]
+
+    def sweep():
+        return {
+            d: engine.run(
+                app, data, EngineConfig(chunk_bytes=2 * MiB, ring_depth=d)
+            ).sim_time
+            for d in depths
+        }
+
+    times = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = [[d, f"{t * 1e3:.3f} ms"] for d, t in times.items()]
+    print("\n" + render_table(["ring depth", "sim time"], rows,
+                              title="Ablation: buffer-ring depth (K-means)"))
+    # deeper rings never hurt on a homogeneous workload
+    assert times[6] <= times[2] * 1.01

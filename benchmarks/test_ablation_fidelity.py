@@ -1,0 +1,86 @@
+"""Ablation: aggregate pipeline model vs per-block high-fidelity simulation.
+
+The engines use the aggregate mode (one logical pipeline whose stage times
+are pre-divided across CPU workers, with per-block DMA latency folded into
+transfer segments) because it simulates in O(chunks) events. This bench
+re-simulates real BigKernel schedules in the per-block mode — every block
+with its own six stage processes contending for the shared CPU threads,
+FIFO link and GPU slots — and checks the cheap model tracks the detailed
+one.
+"""
+
+from repro.apps import get_app
+from repro.bench.report import render_table
+from repro.engines import BigKernelEngine, EngineConfig
+from repro.runtime.pipeline import (
+    ChunkWork,
+    run_pipeline,
+    run_pipeline_per_block,
+)
+from repro.units import MiB
+
+
+def to_per_block(chunks, n_blocks, workers, mt_eff=0.85):
+    """Un-aggregate a schedule: each block carries 1/n of every chunk's
+    work, with undivided (single-thread) assembly/scatter durations."""
+    blocks = []
+    for _ in range(n_blocks):
+        rows = []
+        for c in chunks:
+            rows.append(
+                ChunkWork(
+                    index=c.index,
+                    t_addr_gen=c.t_addr_gen,
+                    addr_bytes_d2h=c.addr_bytes_d2h // n_blocks,
+                    t_assembly=c.t_assembly * workers * mt_eff / n_blocks,
+                    xfer_bytes=c.xfer_bytes // n_blocks,
+                    t_compute=c.t_compute,
+                    write_bytes=c.write_bytes // n_blocks,
+                    t_scatter=c.t_scatter * workers * mt_eff / n_blocks,
+                    xfer_segments=1,
+                )
+            )
+        blocks.append(rows)
+    return blocks
+
+
+def test_fidelity_comparison(benchmark):
+    cfg = EngineConfig(chunk_bytes=2 * MiB)
+
+    def run():
+        rows = []
+        for app_name in ("kmeans", "netflix", "wordcount"):
+            app = get_app(app_name)
+            data = app.generate(n_bytes=16 * MiB, seed=7)
+            engine = BigKernelEngine()
+            sched = engine._schedule(app, data, cfg)
+            n_blocks = min(cfg.num_blocks, 8)
+            aggregate = run_pipeline(
+                cfg.hardware, sched.chunks, sched.pipe_cfg
+            ).total_time
+            detailed = run_pipeline_per_block(
+                cfg.hardware,
+                to_per_block(sched.chunks, n_blocks, sched.workers),
+                sched.pipe_cfg,
+                cpu_threads=cfg.hardware.cpu.threads,
+            ).total_time
+            rows.append((app_name, aggregate, detailed))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    printable = [
+        [
+            name,
+            f"{agg * 1e3:.3f} ms",
+            f"{det * 1e3:.3f} ms",
+            f"{agg / det:.2f}x",
+        ]
+        for name, agg, det in rows
+    ]
+    print("\n" + render_table(
+        ["app", "aggregate model", "per-block simulation", "ratio"],
+        printable,
+        title="Ablation: pipeline model fidelity (BigKernel schedules)",
+    ))
+    for name, agg, det in rows:
+        assert 0.6 < agg / det < 1.7, name

@@ -1,0 +1,58 @@
+"""Ablation: arithmetic intensity and the communication-optimization payoff.
+
+Sweeps K-means' cluster count (the kernel's ops/byte) and shows the
+crossover the paper's Fig. 4(b)/Fig. 5 discussion implies: at low
+intensity BigKernel's gain comes from communication (big win over double
+buffering); as the kernel becomes compute-bound the gain decays toward
+1x — exactly why Word Count and Opinion Finder benefit least.
+"""
+
+from repro.apps.kmeans import KMeansApp
+from repro.bench.report import render_table
+from repro.engines import BigKernelEngine, EngineConfig, GpuDoubleBufferEngine
+from repro.units import MiB
+
+
+def test_intensity_sweep(benchmark):
+    cfg = EngineConfig(chunk_bytes=1 * MiB)
+
+    def run():
+        rows = []
+        for k in (4, 32, 256, 2048):
+            app = KMeansApp(n_clusters=k)
+            data = app.generate(n_bytes=8 * MiB, seed=7)
+            bk = BigKernelEngine().run(app, data, cfg)
+            db = GpuDoubleBufferEngine().run(app, data, cfg)
+            assert app.outputs_equal(bk.output, db.output)
+            comp_frac = bk.metrics.stage_totals["compute"] / max(
+                bk.metrics.stage_totals.values()
+            )
+            rows.append((k, db.sim_time, bk.sim_time, comp_frac))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    printable = [
+        [
+            k,
+            f"{db * 1e3:.2f} ms",
+            f"{bk * 1e3:.2f} ms",
+            f"{db / bk:.2f}x",
+            f"{frac * 100:.0f}%",
+        ]
+        for k, db, bk, frac in rows
+    ]
+    print("\n" + render_table(
+        ["clusters (ops/record ~ 10k)", "double-buffer", "BigKernel",
+         "BK advantage", "BK compute share"],
+        printable,
+        title="Ablation: arithmetic intensity vs communication payoff (K-means)",
+    ))
+
+    advantages = [db / bk for _, db, bk, _ in rows]
+    # the communication advantage decays as compute dominates
+    assert advantages[0] > advantages[-1]
+    assert advantages[-1] < 1.1
+    assert advantages[0] > 1.3
+    # and the compute share of the BigKernel pipeline grows monotonically
+    fracs = [frac for *_, frac in rows]
+    assert all(b >= a - 1e-9 for a, b in zip(fracs, fracs[1:]))

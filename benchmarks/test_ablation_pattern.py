@@ -1,0 +1,69 @@
+"""Ablation: pattern recognizers on phase-changing address streams.
+
+Compares the paper's one-shot tracker (falls back to raw addresses on the
+first mismatch) against the Section IV-A suggested extension (patterns may
+change midstream) across streams with increasing numbers of stride phases.
+"""
+
+import numpy as np
+
+from repro.bench.report import render_table
+from repro.runtime.pattern import (
+    ADDRESS_BYTES,
+    AdaptiveAddressTracker,
+    OnlineAddressTracker,
+)
+
+
+def make_stream(n_phases, phase_len=2048, seed=1):
+    rng = np.random.default_rng(seed)
+    pieces = []
+    for _ in range(n_phases):
+        base = int(rng.integers(0, 10**7))
+        stride = int(rng.integers(1, 16))
+        pieces.append(base + np.arange(phase_len, dtype=np.int64) * stride)
+    return np.concatenate(pieces)
+
+
+def test_tracker_comparison(benchmark):
+    def run():
+        rows = []
+        for phases in (1, 2, 4, 8):
+            stream = make_stream(phases)
+            raw_bytes = stream.size * ADDRESS_BYTES
+            base = OnlineAddressTracker(temp_buffer=16)
+            base.feed_many(stream)
+            base.finish()
+            adaptive = AdaptiveAddressTracker(temp_buffer=16, max_segments=16)
+            adaptive.feed_many(stream)
+            adaptive.finish()
+            np.testing.assert_array_equal(base.addresses(), stream)
+            np.testing.assert_array_equal(adaptive.addresses(), stream)
+            rows.append(
+                (phases, raw_bytes, base.cpu_bytes(), adaptive.cpu_bytes())
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    printable = [
+        [
+            p,
+            f"{raw}",
+            f"{b} ({raw / max(b, 1):.0f}x saved)",
+            f"{a} ({raw / max(a, 1):.0f}x saved)",
+        ]
+        for p, raw, b, a in rows
+    ]
+    print("\n" + render_table(
+        ["stride phases", "raw addr bytes", "paper tracker", "adaptive tracker"],
+        printable,
+        title="Ablation: address-stream compression vs phase changes",
+    ))
+    for phases, raw, base_b, adaptive_b in rows:
+        if phases == 1:
+            assert base_b == adaptive_b  # identical on single-pattern streams
+        else:
+            # the paper's tracker degrades to raw addresses; the adaptive
+            # one stays within a few descriptors
+            assert base_b == raw
+            assert adaptive_b < raw / 10

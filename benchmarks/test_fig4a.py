@@ -1,0 +1,44 @@
+"""Fig. 4(a): speedup of all five schemes over the serial CPU baseline.
+
+Regenerates the figure's series and checks the paper's stated aggregates:
+BigKernel over single-buffer up to 4.6x / avg 2.6x, over double-buffer up
+to 3.1x / avg 1.7x, over multithreaded CPU up to 7.2x / avg 3.0x.
+"""
+
+import statistics
+
+from repro.bench import BenchSettings, fig4a, run_matrix
+from repro.bench.paper_data import AGGREGATES
+
+
+def _aggregate(matrix, base):
+    ratios = [
+        matrix.get(app, base).sim_time / matrix.get(app, "bigkernel").sim_time
+        for app in matrix.apps
+    ]
+    return statistics.mean(ratios), max(ratios)
+
+
+def test_fig4a(benchmark, settings, matrix):
+    fig = benchmark.pedantic(
+        lambda: fig4a(matrix=matrix), rounds=1, iterations=1
+    )
+    print("\n" + fig.text)
+
+    for base, paper in AGGREGATES.items():
+        _, baseline = base
+        avg, peak = _aggregate(matrix, baseline)
+        paper_avg, paper_max = AGGREGATES[base]["avg"], AGGREGATES[base]["max"]
+        print(
+            f"BigKernel vs {baseline}: avg {avg:.2f}x (paper {paper_avg}x), "
+            f"max {peak:.2f}x (paper {paper_max}x)"
+        )
+        # shape assertion: within 40% of the paper's stated aggregates
+        assert 0.6 * paper_avg <= avg <= 1.4 * paper_avg, baseline
+        assert 0.6 * paper_max <= peak <= 1.4 * paper_max, baseline
+
+    # per-app ordering: BigKernel wins everywhere (the paper's headline)
+    for app in matrix.apps:
+        assert fig.series[app]["bigkernel"] > fig.series[app]["gpu_double"]
+        assert fig.series[app]["bigkernel"] > fig.series[app]["gpu_single"]
+        assert fig.series[app]["bigkernel"] > fig.series[app]["cpu_mt"]

@@ -1,0 +1,23 @@
+"""Fig. 4(b): computation/communication ratio of the single-buffer scheme.
+
+Shape checks: Word Count and Opinion Finder are computation-dominant (the
+paper's explanation for their small BigKernel gains); the sparse readers
+are communication-dominated.
+"""
+
+from repro.bench import fig4b
+from repro.bench.paper_data import COMPUTATION_DOMINANT
+
+
+def test_fig4b(benchmark, settings, matrix):
+    fig = benchmark.pedantic(
+        lambda: fig4b(matrix=matrix), rounds=1, iterations=1
+    )
+    print("\n" + fig.text)
+
+    for app in COMPUTATION_DOMINANT:
+        assert fig.series[app]["computation"] > 0.5, app
+    for app in ("kmeans", "netflix", "dna", "mastercard_indexed"):
+        assert fig.series[app]["communication"] > 0.5, app
+    # MasterCard sits in between: heavy parse compute but full transfers
+    assert 0.3 < fig.series["mastercard"]["computation"] < 0.9

@@ -1,0 +1,38 @@
+"""Fig. 5: incremental benefit of (i) overlapping computation and
+communication, (ii) transfer-volume reduction, (iii) memory coalescing.
+
+Shape checks follow the paper's Section VI-B discussion: WC and MasterCard
+gain nothing from volume reduction (100% read); Opinion Finder gains little
+from any communication optimization (compute-dominant); the sparse readers
+gain substantially from reduction.
+"""
+
+from repro.bench import fig5
+from repro.bench.paper_data import NO_VOLUME_REDUCTION
+
+
+def test_fig5(benchmark, settings):
+    fig = benchmark.pedantic(lambda: fig5(settings), rounds=1, iterations=1)
+    print("\n" + fig.text)
+
+    for app, v in fig.series.items():
+        # cumulative features never hurt
+        assert v["reduction"] >= v["overlap"] * 0.99, app
+        assert v["coalescing"] >= v["reduction"] * 0.99, app
+        # the complete system beats single-buffering everywhere
+        assert v["coalescing"] > 1.0, app
+
+    # no reduction headroom for the 100%-read apps
+    for app in NO_VOLUME_REDUCTION:
+        v = fig.series[app]
+        assert v["reduction"] / v["overlap"] < 1.1, app
+
+    # large reduction benefit where reads are sparse
+    for app in ("kmeans", "netflix", "dna", "mastercard_indexed"):
+        v = fig.series[app]
+        assert v["reduction"] / v["overlap"] > 1.15, app
+
+    # compute-dominant Opinion Finder benefits least overall
+    assert fig.series["opinion"]["coalescing"] == min(
+        v["coalescing"] for v in fig.series.values()
+    )

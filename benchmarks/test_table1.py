@@ -1,0 +1,21 @@
+"""Table I: application mapped-data characteristics, measured from the
+kernels' actual address streams."""
+
+from repro.bench import table1
+from repro.bench.paper_data import TABLE1
+
+
+def test_table1(benchmark, settings):
+    t1 = benchmark.pedantic(lambda: table1(settings), rounds=1, iterations=1)
+    print("\n" + t1.text)
+
+    for app, row in t1.rows.items():
+        paper = TABLE1[app]
+        # measured read fraction within 8 points of the paper's
+        assert abs(row["read"] - paper["read"]) <= 0.08, app
+        # modified column: only K-means writes mapped data
+        if app == "kmeans":
+            assert 0.04 <= row["modified"] <= 0.16
+        else:
+            assert row["modified"] == 0.0, app
+        assert row["record_type"] == paper["record_type"]

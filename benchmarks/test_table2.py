@@ -1,0 +1,26 @@
+"""Table II: performance improvement from access-pattern recognition.
+
+Shape checks: byte-granular apps (Word Count, MasterCard) benefit most;
+Opinion Finder's span-granular addresses benefit least; the indexed
+MasterCard variant has no pattern at all (NA)."""
+
+from repro.bench import table2
+
+
+def test_table2(benchmark, settings):
+    t2 = benchmark.pedantic(lambda: table2(settings), rounds=1, iterations=1)
+    print("\n" + t2.text)
+
+    rows = t2.rows
+    assert rows["mastercard_indexed"]["improvement"] is None  # paper: NA
+
+    wc = rows["wordcount"]["improvement"]
+    mca = rows["mastercard"]["improvement"]
+    of = rows["opinion"]["improvement"]
+    km = rows["kmeans"]["improvement"]
+    assert wc is not None and wc > 0.3  # paper: 66%
+    assert mca is not None and mca > 0.15  # paper: 57%
+    assert km is not None and 0.1 < km < 0.6  # paper: 31%
+    assert of is not None and of < 0.15  # paper: 6%
+    # byte-granular beats span-granular
+    assert wc > of and mca > of

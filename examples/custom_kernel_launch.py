@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Write your own kernel, launch it — the paper's programming model live.
+
+Defines a sensor-anomaly kernel that the packaged applications have never
+seen (read two of five fields per record, flag out-of-band readings into a
+resident histogram), maps a synthetic 8 MiB sensor log, and launches it.
+The front end compiles the address slice, measures the access profile from
+the kernel itself, recognizes the stride pattern online, and runs the full
+4-stage pipeline — no Application subclass, no buffer code.
+"""
+
+import numpy as np
+
+from repro.engines import EngineConfig
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    RecordSchema,
+    Var,
+    loc_count,
+    make_addrgen_kernel,
+    render_kernel,
+)
+from repro.runtime import LaunchSpec, StreamingRegistry, bigkernel_launch
+from repro.units import MiB, fmt_bytes, fmt_time
+
+READING = RecordSchema.packed(
+    [
+        ("sensor", "i4"),
+        ("temperature", "f8"),
+        ("pressure", "f8"),
+        ("checksum", "i8"),
+        ("sequence", "i8"),
+    ],
+    record_size=40,
+)
+
+N_SENSORS = 256
+TEMP_LIMIT = 90.0
+
+
+def anomaly_kernel() -> Kernel:
+    ref = lambda f: MappedRef("readings", Var("i"), f)
+    return Kernel(
+        "anomalyKernel",
+        (
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("s", Load(ref("sensor"))),
+                    Assign("t", Load(ref("temperature"))),
+                    If(
+                        BinOp(">", Var("t"), Const(TEMP_LIMIT)),
+                        (AtomicAdd("anomalies", Var("s"), Const(1)),),
+                    ),
+                ),
+            ),
+        ),
+        mapped={"readings": READING},
+        resident=("anomalies",),
+    )
+
+
+def main() -> None:
+    rng = np.random.default_rng(123)
+    n = (8 * MiB) // READING.record_size
+    readings = np.zeros(n, dtype=READING.numpy_dtype())
+    readings["sensor"] = rng.integers(0, N_SENSORS, n)
+    # a few sensors run hot
+    hot = rng.choice(N_SENSORS, 8, replace=False)
+    base = np.where(np.isin(readings["sensor"], hot), 85.0, 60.0)
+    readings["temperature"] = base + rng.normal(0, 8.0, n)
+    readings["pressure"] = rng.normal(101.3, 2.0, n)
+
+    kernel = anomaly_kernel()
+    print(f"user kernel ({loc_count(kernel)} LOC):\n")
+    print(render_kernel(kernel))
+    print(f"\naddress slice ({loc_count(make_addrgen_kernel(kernel))} LOC) "
+          "derived automatically.\n")
+
+    registry = StreamingRegistry()
+    registry.streaming_malloc("readings", readings.nbytes)
+    registry.streaming_map("readings", readings, READING)
+
+    result = bigkernel_launch(
+        kernel,
+        registry,
+        resident={"anomalies": np.zeros(N_SENSORS, dtype=np.int64)},
+        config=EngineConfig(chunk_bytes=1 * MiB),
+        spec=LaunchSpec(make_output=lambda ctx: ctx.resident["anomalies"].copy()),
+    )
+
+    expected_hot = set(hot.tolist())
+    found = set(np.argsort(result.output)[::-1][:8].tolist())
+    print(f"mapped {fmt_bytes(readings.nbytes)}; kernel reads sensor+temperature "
+          f"(12 of 40 B per record)")
+    print(f"transferred {fmt_bytes(result.metrics.bytes_h2d)} "
+          f"(volume reduction from the address slice)")
+    print(f"pattern recognized on {result.metrics.pattern_fraction:.0%} of "
+          f"sampled threads; simulated time {fmt_time(result.sim_time)}")
+    print(f"hot sensors found: {sorted(found)}")
+    print(f"hot sensors planted: {sorted(expected_hot)}")
+    assert found == expected_hot
+    print("\nanomaly detection matches the planted ground truth.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""What-if study: how interconnect bandwidth shifts the pipeline bottleneck.
+
+The paper concludes that BigKernel "largely removed PCIe from being a
+bottleneck ... with the bottleneck migrating to the GPU cores". This study
+sweeps the link bandwidth from half of PCIe Gen3 up to Gen4/Gen5-class
+links and watches BigKernel's own slowest stage migrate from the data
+transfer to the computation stage.
+
+It also contrasts double-buffering: its bottleneck is the *CPU staging
+memcpy*, which a faster link does nothing for — one more reason prefetch
+pipelining with parallel assembly ages better than classic double
+buffering as interconnects improve.
+"""
+
+from dataclasses import replace
+
+from repro.apps import KMeansApp, NetflixApp
+from repro.bench.report import render_table
+from repro.engines import BigKernelEngine, EngineConfig, GpuDoubleBufferEngine
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import FORWARD_STAGES
+from repro.units import GB, MiB
+
+
+def sweep(app, factors):
+    data = app.generate(n_bytes=16 * MiB, seed=3)
+    rows = []
+    for f in factors:
+        pcie = replace(
+            DEFAULT_HARDWARE.pcie,
+            raw_bandwidth=DEFAULT_HARDWARE.pcie.raw_bandwidth * f,
+        )
+        hw = replace(DEFAULT_HARDWARE, pcie=pcie)
+        cfg = EngineConfig(hardware=hw, chunk_bytes=2 * MiB)
+        bk = BigKernelEngine().run(app, data, cfg)
+        db = GpuDoubleBufferEngine().run(app, data, cfg)
+        assert app.outputs_equal(bk.output, db.output)
+        totals = bk.metrics.stage_totals
+        slowest = max(FORWARD_STAGES, key=lambda s: totals.get(s, 0.0))
+        xfer_share = totals.get("data_transfer", 0.0) / max(
+            totals[s] for s in FORWARD_STAGES
+        )
+        rows.append(
+            [
+                f"{pcie.raw_bandwidth / GB:.1f} GB/s",
+                f"{db.sim_time * 1e3:.2f} ms",
+                f"{bk.sim_time * 1e3:.2f} ms",
+                slowest,
+                f"{xfer_share * 100:.0f}%",
+            ]
+        )
+    return rows
+
+
+def main() -> None:
+    factors = (0.5, 1.0, 2.0, 4.0, 8.0)
+    for app in (KMeansApp(), NetflixApp()):
+        rows = sweep(app, factors)
+        print(render_table(
+            ["link bandwidth", "double-buffer", "BigKernel",
+             "BK slowest stage", "transfer vs slowest"],
+            rows,
+            title=f"\n{app.display_name}: bottleneck migration vs link speed",
+        ))
+    print(
+        "\nTwo effects, both from the paper's conclusion:\n"
+        "  1. BigKernel's slowest stage migrates from data transfer to the\n"
+        "     GPU computation stage as the link speeds up — PCIe stops being\n"
+        "     the bottleneck.\n"
+        "  2. Double-buffering barely improves: its bottleneck is the CPU\n"
+        "     staging memcpy, which a faster link does not touch."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Big-Data-style log analytics: Word Count over a mapped document.
+
+Demonstrates the byte-stream case that motivates pattern recognition: the
+kernel reads every byte (Table I: 100% read), so shipping one 8-byte
+address per 1-byte character would be absurd — the online recognizer
+compresses each thread's stride-1 walk into a single descriptor.
+
+Prints the per-stage pipeline breakdown (Fig. 6 style) and the
+pattern-recognition benefit (Table II style) for this workload.
+"""
+
+from repro.apps import WordCountApp
+from repro.bench.report import render_series
+from repro.engines import BigKernelEngine, EngineConfig, GpuDoubleBufferEngine
+from repro.runtime.pipeline import FORWARD_STAGES
+from repro.units import MiB, fmt_bytes, fmt_time
+
+
+def main() -> None:
+    app = WordCountApp()
+    data = app.generate(n_bytes=16 * MiB, seed=7)
+    print(f"document: {fmt_bytes(data.total_mapped_bytes)}, "
+          f"~{data.meta['n_words']} words "
+          f"(avg record {data.meta['avg_record']:.1f} B)")
+
+    config = EngineConfig(chunk_bytes=2 * MiB)
+    engine = BigKernelEngine()
+
+    with_pattern = engine.run(app, data, config)
+    without = engine.run(app, data, config.with_(pattern_recognition=False))
+    double = GpuDoubleBufferEngine().run(app, data, config)
+    assert app.outputs_equal(with_pattern.output, without.output)
+    assert app.outputs_equal(with_pattern.output, double.output)
+
+    top = with_pattern.output.max()
+    print(f"word-count table: {int((with_pattern.output > 0).sum())} occupied "
+          f"buckets, hottest bucket {int(top)} hits\n")
+
+    print("BigKernel pipeline stage totals (relative to the longest):")
+    totals = with_pattern.metrics.stage_totals
+    longest = max(totals[s] for s in FORWARD_STAGES)
+    series = {s: totals[s] / longest for s in FORWARD_STAGES}
+    print(render_series(series, unit=""))
+
+    print(f"\npattern recognition:")
+    print(f"  with patterns    {fmt_time(with_pattern.sim_time)}")
+    print(f"  raw addresses    {fmt_time(without.sim_time)} "
+          f"(+{(without.sim_time / with_pattern.sim_time - 1) * 100:.0f}% — Table II)")
+    print(f"  double-buffering {fmt_time(double.sim_time)}")
+    print(f"\nnote: Word Count is computation-dominant (centralized hash table"
+          f"\n+ per-byte divergence), so BigKernel's gain over double-buffering"
+          f"\nis modest here ({double.sim_time / with_pattern.sim_time:.2f}x) — "
+          f"exactly the paper's observation.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""MapReduce on BigKernel — the paper's future-work direction, realized.
+
+Declares a MapReduce job (URL hit counting over a zipf clickstream) and a
+second job (max latency per URL) and runs both on every execution scheme.
+The mapper reads only the fields it needs, so BigKernel's prefetcher moves
+~12.5% of the data for the counting job.
+"""
+
+import numpy as np
+
+from repro.engines import (
+    BigKernelEngine,
+    CpuMtEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+)
+from repro.ext.mapreduce import CLICK, MapReduceApp, MapReduceSpec, N_URLS, make_clickstream_job
+from repro.ext import mapreduce as mr
+from repro.units import MiB, fmt_bytes, fmt_time
+
+
+def run_job(app, label):
+    data = app.generate(n_bytes=16 * MiB, seed=11)
+    cfg = EngineConfig(chunk_bytes=2 * MiB)
+    engines = [
+        CpuSerialEngine(),
+        CpuMtEngine(),
+        GpuSingleBufferEngine(),
+        GpuDoubleBufferEngine(),
+        BigKernelEngine(),
+    ]
+    results = [e.run(app, data, cfg) for e in engines]
+    for r in results[1:]:
+        assert app.outputs_equal(results[0].output, r.output), r.engine
+    print(f"\n== {label}: {app.n_units(data)} records, "
+          f"{fmt_bytes(data.total_mapped_bytes)} mapped ==")
+    base = results[0].sim_time
+    for r in results:
+        print(f"  {r.engine:12s} {fmt_time(r.sim_time):>12s} "
+              f"({base / r.sim_time:5.2f}x)   h2d {fmt_bytes(r.metrics.bytes_h2d)}")
+    return results[-1]
+
+
+def main() -> None:
+    # Job 1: hit count per URL (reads 4 of 32 bytes per record).
+    counter = make_clickstream_job("count")
+    bk = run_job(counter, "MapReduce job: URL hit count")
+    out = bk.output
+    hot = np.argsort(out)[::-1][:3]
+    print(f"  hottest URLs: {hot.tolist()} with {out[hot].astype(int).tolist()} hits")
+
+    # Job 2: max latency per URL (reads url + latency_ms, non-contiguous).
+    spec = MapReduceSpec(
+        name="latency_p100",
+        schema=CLICK,
+        read_fields=("url", "latency_ms"),
+        mapper=lambda batch, params: (
+            batch["url"].astype(np.int64),
+            batch["latency_ms"].astype(np.float64),
+        ),
+        reducer="max",
+        n_keys=N_URLS,
+        generator=mr._click_generator,
+        map_ops_per_record=40.0,
+    )
+    bk2 = run_job(MapReduceApp(spec), "MapReduce job: max latency per URL")
+    worst = int(np.nanargmax(np.where(np.isfinite(bk2.output), bk2.output, -1)))
+    print(f"  slowest URL: {worst} at {bk2.output[worst]:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Merchant affinity over variable-length transaction records.
+
+The hardest case for GPU streaming: delimiter-separated variable-length
+records force the kernel to scan every byte to even find record boundaries,
+so the transfer volume cannot be reduced — until an index file exposes the
+key fields, unlocking a ~4x volume reduction (the paper's indexed variant,
+its biggest single win).
+
+Runs both variants through BigKernel and the baselines and contrasts them.
+"""
+
+from repro.apps import MastercardAffinityApp, MastercardIndexedApp
+from repro.engines import (
+    BigKernelEngine,
+    CpuMtEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+)
+from repro.units import MiB, fmt_bytes, fmt_time
+
+import numpy as np
+
+
+def run_variant(app, label):
+    data = app.generate(n_bytes=16 * MiB, seed=13)
+    config = EngineConfig(chunk_bytes=2 * MiB)
+    engines = {
+        "CPU MT": CpuMtEngine(),
+        "single": GpuSingleBufferEngine(),
+        "double": GpuDoubleBufferEngine(),
+        "BigKernel": BigKernelEngine(),
+    }
+    results = {name: e.run(app, data, config) for name, e in engines.items()}
+    outputs = [r.output for r in results.values()]
+    for out in outputs[1:]:
+        assert app.outputs_equal(outputs[0], out)
+
+    bk = results["BigKernel"]
+    top = np.argsort(bk.output)[::-1][:3]
+    print(f"\n== {label} ==")
+    print(f"target merchant {data.params['target']}: "
+          f"top co-visited merchants {top.tolist()} "
+          f"({bk.output[top].tolist()} visits)")
+    for name, r in results.items():
+        print(f"  {name:10s} {fmt_time(r.sim_time):>12s}   "
+              f"h2d {fmt_bytes(r.metrics.bytes_h2d):>12s}")
+    print(f"  pattern: {'recognized' if bk.metrics.notes['pattern_on'] else 'none (NA)'}; "
+          f"2 passes over the mapped data")
+    return results
+
+
+def main() -> None:
+    plain = run_variant(MastercardAffinityApp(), "MasterCard Affinity (byte scan)")
+    indexed = run_variant(MastercardIndexedApp(), "MasterCard Affinity (indexed)")
+
+    bk_plain = plain["BigKernel"]
+    bk_idx = indexed["BigKernel"]
+    print(f"\nindex effect on BigKernel: "
+          f"{bk_plain.sim_time / bk_idx.sim_time:.2f}x faster, "
+          f"transfers {fmt_bytes(bk_plain.metrics.bytes_h2d)} -> "
+          f"{fmt_bytes(bk_idx.metrics.bytes_h2d)}")
+
+
+if __name__ == "__main__":
+    main()

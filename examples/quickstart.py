@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's K-means example, end to end.
+
+Runs the paper's running example through the streaming programming model
+(``streamingMalloc``/``streamingMap``), executes all five evaluation schemes
+over the same dataset, verifies they produce identical cluster assignments,
+and prints the Fig. 4(a)-style speedup column for K-means.
+
+Usage::
+
+    python examples/quickstart.py [data_mib]
+"""
+
+import sys
+
+from repro.apps import KMeansApp
+from repro.engines import (
+    BigKernelEngine,
+    CpuMtEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+)
+from repro.runtime.streaming import StreamingRegistry
+from repro.units import MiB, fmt_bytes, fmt_time
+
+
+def main() -> None:
+    data_mib = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    app = KMeansApp()
+    data = app.generate(n_bytes=data_mib * MiB, seed=42)
+    print(f"K-means: {data.n_records} particles, {fmt_bytes(data.total_mapped_bytes)} mapped")
+
+    # The programming model from the paper's Section III-A: declare the
+    # pseudo-virtual device array and map the host data to it. BigKernel
+    # handles chunking, buffering, transfers, and layout behind this.
+    registry = StreamingRegistry()
+    registry.streaming_malloc("d_particles", data.total_mapped_bytes)
+    particles = registry.streaming_map(
+        "d_particles",
+        data.mapped["particles"],
+        data.schemas["particles"],
+        writable=True,  # the kernel writes cluster ids back
+    )
+    print(f"mapped streaming array: {particles.name} "
+          f"({particles.n_records} records x {particles.schema.record_size} B)")
+
+    config = EngineConfig(chunk_bytes=2 * MiB)
+    engines = [
+        CpuSerialEngine(),
+        CpuMtEngine(),
+        GpuSingleBufferEngine(),
+        GpuDoubleBufferEngine(),
+        BigKernelEngine(),
+    ]
+    results = {e.display_name: e.run(app, data, config) for e in engines}
+
+    baseline = results["CPU Serial"]
+    for r in results.values():
+        assert app.outputs_equal(baseline.output, r.output), r.engine
+    print("\nall five schemes produce identical cluster assignments\n")
+
+    print(f"{'scheme':24s} {'sim time':>12s} {'speedup':>9s}")
+    for name, r in results.items():
+        print(f"{name:24s} {fmt_time(r.sim_time):>12s} {r.speedup_over(baseline):>8.2f}x")
+
+    bk = results["GPU BigKernel"]
+    print(f"\nBigKernel details: {bk.metrics.n_chunks} pipeline chunks, "
+          f"pattern recognized on {bk.metrics.pattern_fraction:.0%} of sampled threads,")
+    print(f"  h2d {fmt_bytes(bk.metrics.bytes_h2d)} (volume reduced from "
+          f"{fmt_bytes(results['GPU Single Buffer'].metrics.bytes_h2d)}), "
+          f"d2h {fmt_bytes(bk.metrics.bytes_d2h)} (write-back)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The pinned environment has setuptools 65 without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) fail offline. This shim lets
+``pip install -e .`` take the legacy ``setup.py develop`` path.
+"""
+
+from setuptools import setup
+
+setup()

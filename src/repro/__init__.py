@@ -1,0 +1,26 @@
+"""BigKernel reproduction library.
+
+Reproduces Mokhtari & Stumm, *BigKernel -- High Performance CPU-GPU
+Communication Pipelining for Big Data-style Applications* (IPDPS 2014) on a
+simulated heterogeneous substrate: a discrete-event engine (:mod:`repro.sim`),
+calibrated GPU/CPU/PCIe cost models (:mod:`repro.hw`), a kernel IR compiler
+performing the paper's address-slice and data-buffer transformations
+(:mod:`repro.kernelc`), the BigKernel 4/6-stage pipelined runtime
+(:mod:`repro.runtime`), the five evaluated execution schemes
+(:mod:`repro.engines`), the six benchmark applications (:mod:`repro.apps`),
+and the figure/table harnesses (:mod:`repro.bench`).
+
+Quickstart::
+
+    from repro.apps import KMeansApp
+    from repro.engines import BigKernelEngine, CpuSerialEngine
+
+    app = KMeansApp()
+    data = app.generate(n_bytes=2_000_000, seed=0)
+    result = BigKernelEngine().run(app, data)
+    reference = CpuSerialEngine().run(app, data)
+    assert app.outputs_equal(result.output, reference.output)
+    print(result.sim_time, reference.sim_time / result.sim_time, "x speedup")
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,45 @@
+"""The paper's six benchmark applications (plus the indexed MasterCard
+variant), each with a synthetic data generator matching the published record
+shapes, a vectorized NumPy reference kernel, a kernel-IR definition for the
+compiler path, and an access characterization feeding the cost models.
+
+Substitution note: the paper's datasets (MasterCard transactions, Netflix
+ratings, tweets, DNA reads) are proprietary; generators produce synthetic
+equivalents with the same record layouts and access ratios (Table I), at
+sizes scaled down ~100x. All reported effects are per-byte/per-record
+ratios, which scaling preserves.
+"""
+
+from repro.apps.base import Application, AppData, AccessProfile, APP_REGISTRY, get_app
+from repro.apps.kmeans import KMeansApp
+from repro.apps.wordcount import WordCountApp
+from repro.apps.netflix import NetflixApp
+from repro.apps.opinion import OpinionFinderApp
+from repro.apps.dna import DnaAssemblyApp
+from repro.apps.mastercard import MastercardAffinityApp, MastercardIndexedApp
+
+ALL_APPS = (
+    KMeansApp,
+    WordCountApp,
+    NetflixApp,
+    OpinionFinderApp,
+    DnaAssemblyApp,
+    MastercardAffinityApp,
+    MastercardIndexedApp,
+)
+
+__all__ = [
+    "Application",
+    "AppData",
+    "AccessProfile",
+    "APP_REGISTRY",
+    "get_app",
+    "KMeansApp",
+    "WordCountApp",
+    "NetflixApp",
+    "OpinionFinderApp",
+    "DnaAssemblyApp",
+    "MastercardAffinityApp",
+    "MastercardIndexedApp",
+    "ALL_APPS",
+]

@@ -1,0 +1,260 @@
+"""Application base classes and the access-characterization contract.
+
+Every app provides three synchronized views of the same computation:
+
+1. **Vectorized kernel** — ``make_state`` / ``process_chunk`` / ``finalize``:
+   NumPy-speed semantics used by every engine for functional output (all
+   five schemes must produce identical results; engines differ in *when and
+   what* they move, which the simulator prices).
+2. **Kernel IR** — ``kernel()`` + ``make_ir_context()``: the same program in
+   :mod:`repro.kernelc` IR, used to exercise the real compiler
+   transformations; tests cross-validate it against the vectorized kernel
+   on small inputs.
+3. **Access characterization** — ``access_profile()`` and
+   ``chunk_read_offsets()``: what the kernel touches, feeding Table I, the
+   pattern recognizer, the assembly stage and the coalescing model.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import ApplicationError
+from repro.kernelc.codegen import ExecutionContext
+from repro.kernelc.ir import Kernel, RecordSchema
+
+#: default down-scaling of the paper's dataset sizes (4.5-6.4 GB -> tens of MB)
+DEFAULT_SCALE = 1.0 / 100.0
+
+
+@dataclass
+class AppData:
+    """One generated dataset instance."""
+
+    app: str
+    #: mapped (streamed) structures: name -> structured array
+    mapped: dict[str, np.ndarray]
+    #: schemas of the mapped structures
+    schemas: dict[str, RecordSchema]
+    #: GPU-resident structures (copied once, not streamed)
+    resident: dict[str, np.ndarray] = field(default_factory=dict)
+    #: scalar kernel parameters
+    params: dict[str, Any] = field(default_factory=dict)
+    #: name of the primary streamed structure
+    primary: str = ""
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def primary_array(self) -> np.ndarray:
+        return self.mapped[self.primary]
+
+    @property
+    def n_records(self) -> int:
+        return int(self.primary_array.shape[0])
+
+    @property
+    def record_bytes(self) -> int:
+        return self.schemas[self.primary].record_size
+
+    @property
+    def total_mapped_bytes(self) -> int:
+        return sum(
+            arr.shape[0] * self.schemas[name].record_size
+            for name, arr in self.mapped.items()
+        )
+
+    def byte_view(self, name: Optional[str] = None) -> np.ndarray:
+        arr = self.mapped[name or self.primary]
+        return arr.view(np.uint8).reshape(-1)
+
+
+@dataclass(frozen=True)
+class AccessProfile:
+    """Static per-record access characterization of an app's kernel.
+
+    These are the quantities Table I reports (read/modified proportions of
+    mapped data) plus what the cost models need (operation counts, access
+    granularity, pattern-friendliness).
+    """
+
+    #: bytes of one (average) record
+    record_bytes: float
+    #: mapped bytes read per record
+    read_bytes_per_record: float
+    #: mapped bytes written per record
+    write_bytes_per_record: float
+    #: individual mapped read accesses per record
+    reads_per_record: float
+    #: individual mapped write accesses per record
+    writes_per_record: float
+    #: typical access granularity (element size)
+    elem_bytes: int
+    #: GPU arithmetic per record (ops)
+    gpu_ops_per_record: float
+    #: CPU arithmetic per record for the CPU baselines (ops; typically
+    #: higher than GPU ops/record because scalar ISAs lack the GPU's free
+    #: lane parallelism within a record)
+    cpu_ops_per_record: float
+    #: GPU-side traffic to resident structures per record (bytes)
+    resident_bytes_per_record: float = 0.0
+    #: do per-thread address streams follow a stride cycle?
+    pattern_friendly: bool = True
+    #: can the compiler build the address slice? (False -> full-transfer
+    #: fallback)
+    sliceable: bool = True
+    #: variable-length records (drives Table I's record-type column)
+    variable_length: bool = False
+    #: how many passes over the mapped data the computation makes
+    passes: int = 1
+    #: contiguous-run size (bytes) the assembly gather can copy per loop
+    #: iteration once a pattern exposes the layout; defaults to one element
+    gather_granularity_bytes: float = 0.0
+    #: addresses the sliced kernel emits per record when no pattern is
+    #: recognized — one per contiguous field *span*, not one per element
+    #: (the compiler coalesces adjacent accesses into one address). 0 means
+    #: "same as reads_per_record".
+    addresses_per_record: float = 0.0
+    #: warp-divergence/atomic-serialization penalty on GPU arithmetic
+    #: throughput (1 = uniform control flow; 32 = fully serialized warp).
+    #: Byte-parsing kernels branch per character and contend on shared
+    #: hash tables, which is what makes Word Count and Opinion Finder
+    #: computation-dominant in the paper.
+    gpu_divergence: float = 1.0
+
+    @property
+    def emitted_addresses_per_record(self) -> float:
+        """Effective address count per record for the no-pattern path."""
+        return self.addresses_per_record or self.reads_per_record
+
+    @property
+    def gather_run_bytes(self) -> float:
+        """Effective contiguous-run size for pattern-driven gathering."""
+        return self.gather_granularity_bytes or float(self.elem_bytes)
+
+    @property
+    def read_fraction(self) -> float:
+        """Table I's "Read" column."""
+        return self.read_bytes_per_record / self.record_bytes
+
+    @property
+    def write_fraction(self) -> float:
+        """Table I's "Modified" column."""
+        return self.write_bytes_per_record / self.record_bytes
+
+
+class Application(abc.ABC):
+    """Base class for the benchmark applications."""
+
+    #: registry key, e.g. ``"kmeans"``
+    name: str = ""
+    #: label used in figures, e.g. ``"K-means"``
+    display_name: str = ""
+    #: dataset size used in the paper (Table I)
+    paper_data_bytes: int = 0
+    #: does the kernel modify mapped data?
+    writes_mapped: bool = False
+    #: how many passes over the mapped data the computation makes
+    n_passes: int = 1
+
+    # ------------------------------------------------------------- data
+    @abc.abstractmethod
+    def generate(self, n_bytes: Optional[int] = None, seed: int = 0) -> AppData:
+        """Create a synthetic dataset of ~``n_bytes`` mapped data."""
+
+    def default_bytes(self) -> int:
+        return max(1, int(self.paper_data_bytes * DEFAULT_SCALE))
+
+    # ----------------------------------------------------- vectorized kernel
+    @abc.abstractmethod
+    def make_state(self, data: AppData) -> Any:
+        """Fresh computation state (resident outputs, accumulators)."""
+
+    @abc.abstractmethod
+    def process_chunk(self, data: AppData, state: Any, lo: int, hi: int) -> None:
+        """Process records ``[lo, hi)`` of the primary structure."""
+
+    @abc.abstractmethod
+    def finalize(self, data: AppData, state: Any) -> Any:
+        """Produce the final output from the state."""
+
+    def start_pass(self, data: AppData, state: Any, pass_idx: int) -> None:
+        """Hook before each pass of a multi-pass computation."""
+
+    def reference(self, data: AppData) -> Any:
+        """Full-range run over all passes (the CPU-serial semantics)."""
+        state = self.make_state(data)
+        for p in range(self.n_passes):
+            self.start_pass(data, state, p)
+            self.process_chunk(data, state, 0, self.n_units(data))
+        return self.finalize(data, state)
+
+    def outputs_equal(self, a: Any, b: Any) -> bool:
+        """Engine-output comparison; override for tolerant comparisons."""
+        if isinstance(a, np.ndarray):
+            return bool(np.array_equal(a, b))
+        return bool(a == b)
+
+    # ------------------------------------------------------------ chunking
+    def n_units(self, data: AppData) -> int:
+        """Number of independently processable units (records or bytes)."""
+        return data.n_records
+
+    def chunk_bounds(self, data: AppData, chunk_units: int) -> list[tuple[int, int]]:
+        """Split the unit range into chunks; apps with alignment constraints
+        (variable-length records) override this."""
+        if chunk_units < 1:
+            raise ApplicationError("chunk_units must be >= 1")
+        n = self.n_units(data)
+        return [(lo, min(lo + chunk_units, n)) for lo in range(0, n, chunk_units)]
+
+    # ---------------------------------------------------- characterization
+    @abc.abstractmethod
+    def access_profile(self, data: AppData) -> AccessProfile:
+        """Static access characterization for the cost models / Table I."""
+
+    @abc.abstractmethod
+    def chunk_read_offsets(self, data: AppData, lo: int, hi: int) -> np.ndarray:
+        """Byte offsets (into the primary byte view) the kernel reads for
+        units ``[lo, hi)``, in per-unit program order."""
+
+    def chunk_write_offsets(self, data: AppData, lo: int, hi: int) -> np.ndarray:
+        """Byte offsets the kernel writes for units ``[lo, hi)``."""
+        return np.empty(0, dtype=np.int64)
+
+    # ------------------------------------------------------- compiler path
+    def kernel(self) -> Optional[Kernel]:
+        """Kernel-IR form, when expressible (None only if genuinely not)."""
+        return None
+
+    def make_ir_context(self, data: AppData) -> Optional[ExecutionContext]:
+        """Execution context binding ``data`` for the IR interpreter."""
+        return None
+
+    def ir_output(self, data: AppData, ctx: ExecutionContext) -> Any:
+        """Extract the comparable output after an IR run."""
+        raise NotImplementedError
+
+
+APP_REGISTRY: dict[str, type] = {}
+
+
+def register(cls):
+    """Class decorator adding an app to the registry."""
+    if not cls.name:
+        raise ApplicationError(f"{cls.__name__} has no name")
+    APP_REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_app(name: str) -> Application:
+    """Instantiate a registered application by name."""
+    try:
+        return APP_REGISTRY[name]()
+    except KeyError:
+        raise ApplicationError(
+            f"unknown app {name!r}; known: {sorted(APP_REGISTRY)}"
+        )

@@ -1,0 +1,42 @@
+"""Benchmark harnesses regenerating every table and figure of the paper's
+evaluation (Section VI).
+
+* Fig. 4(a) — speedups of all five schemes over serial CPU: :mod:`figures`.
+* Fig. 4(b) — computation/communication ratio of the single-buffer scheme.
+* Fig. 5 — incremental benefit of overlap / transfer-volume reduction /
+  memory coalescing (BigKernel feature ablation).
+* Fig. 6 — relative completion time of the four pipeline stages.
+* Table I — mapped-data characteristics, *measured* from the kernels'
+  actual access streams: :mod:`tables`.
+* Table II — performance improvement from pattern recognition.
+
+``repro.bench.paper_data`` holds the paper-reported values each harness
+prints next to the measured ones.
+"""
+
+from repro.bench.harness import BenchSettings, Matrix, run_matrix
+from repro.bench.report import render_table, render_series, render_gantt
+from repro.bench.figures import fig4a, fig4b, fig5, fig6
+from repro.bench.tables import table1, table2
+from repro.bench.sweep import sweep, autotune, SweepResult, SweepPoint
+from repro.bench import paper_data
+
+__all__ = [
+    "BenchSettings",
+    "Matrix",
+    "run_matrix",
+    "render_table",
+    "render_series",
+    "render_gantt",
+    "fig4a",
+    "fig4b",
+    "fig5",
+    "fig6",
+    "table1",
+    "table2",
+    "sweep",
+    "autotune",
+    "SweepResult",
+    "SweepPoint",
+    "paper_data",
+]

@@ -1,0 +1,156 @@
+"""Figure harnesses: each returns the figure's data series plus a text
+rendition, ready for paper-vs-measured comparison."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps import ALL_APPS, get_app
+from repro.bench.harness import BenchSettings, Matrix, run_matrix
+from repro.bench.paper_data import APP_ORDER
+from repro.bench.report import render_series, render_table
+from repro.engines import BigKernelEngine, BigKernelFeatures, GpuSingleBufferEngine
+from repro.runtime.pipeline import FORWARD_STAGES, STAGE_WRITEBACK_SCATTER, STAGE_WRITEBACK_XFER
+
+
+@dataclass
+class FigureResult:
+    """Data + rendering of one regenerated figure."""
+
+    figure: str
+    series: dict
+    text: str
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4(a): speedup of every scheme over the serial CPU implementation
+# ---------------------------------------------------------------------------
+
+def fig4a(settings: Optional[BenchSettings] = None, matrix: Optional[Matrix] = None) -> FigureResult:
+    """Per-app speedups over CPU-serial for all five schemes."""
+    matrix = matrix or run_matrix(settings)
+    series: dict = {}
+    for app in APP_ORDER:
+        if app not in matrix.apps:
+            continue
+        series[app] = {
+            engine: matrix.speedup(app, engine)
+            for engine in matrix.engines
+            if engine != "cpu_serial"
+        }
+    rows = [
+        [app] + [f"{series[app][e]:.2f}x" for e in series[app]]
+        for app in series
+    ]
+    headers = ["app"] + [e for e in next(iter(series.values()))]
+    text = render_table(headers, rows, title="Fig. 4(a): speedup over serial CPU")
+    return FigureResult("fig4a", series, text)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4(b): computation / communication ratio of the single-buffer scheme
+# ---------------------------------------------------------------------------
+
+def fig4b(settings: Optional[BenchSettings] = None, matrix: Optional[Matrix] = None) -> FigureResult:
+    """Computation share of comp+comm time in the single-buffer runs."""
+    matrix = matrix or run_matrix(settings)
+    series = {}
+    for app in APP_ORDER:
+        if app not in matrix.apps:
+            continue
+        m = matrix.get(app, "gpu_single").metrics
+        series[app] = {
+            "computation": m.comp_comm_ratio,
+            "communication": 1.0 - m.comp_comm_ratio,
+        }
+    rows = [
+        [app, f"{v['computation'] * 100:.0f}%", f"{v['communication'] * 100:.0f}%"]
+        for app, v in series.items()
+    ]
+    text = render_table(
+        ["app", "computation", "communication"],
+        rows,
+        title="Fig. 4(b): comp/comm ratio, single-buffer implementation",
+    )
+    return FigureResult("fig4b", series, text)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5: incremental benefit of overlap / volume reduction / coalescing
+# ---------------------------------------------------------------------------
+
+def fig5(settings: Optional[BenchSettings] = None) -> FigureResult:
+    """Speedup over single-buffer of the three BigKernel variants.
+
+    Variants are cumulative (as in the paper): overlap-only, then
+    + transfer-volume reduction, then + memory coalescing (= full).
+    """
+    settings = settings or BenchSettings()
+    single = GpuSingleBufferEngine()
+    variants = (
+        ("overlap", BigKernelEngine(BigKernelFeatures.overlap_only())),
+        ("reduction", BigKernelEngine(BigKernelFeatures.with_reduction())),
+        ("coalescing", BigKernelEngine(BigKernelFeatures.full())),
+    )
+    series: dict = {}
+    for cls in ALL_APPS:
+        app = cls()
+        data = app.generate(n_bytes=settings.data_bytes, seed=settings.seed)
+        t_single = single.run(app, data, settings.config).sim_time
+        cumulative = {}
+        for label, engine in variants:
+            t = engine.run(app, data, settings.config).sim_time
+            cumulative[label] = t_single / t
+        series[app.name] = cumulative
+    rows = [
+        [
+            app,
+            f"{v['overlap']:.2f}x",
+            f"{v['reduction']:.2f}x",
+            f"{v['coalescing']:.2f}x",
+        ]
+        for app, v in series.items()
+    ]
+    text = render_table(
+        ["app", "overlap only", "+volume reduction", "+coalescing (full)"],
+        rows,
+        title="Fig. 5: cumulative speedup over single-buffer by feature",
+    )
+    return FigureResult("fig5", series, text)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 6: relative completion time of each BigKernel stage
+# ---------------------------------------------------------------------------
+
+def fig6(settings: Optional[BenchSettings] = None, matrix: Optional[Matrix] = None) -> FigureResult:
+    """Per-stage busy time relative to the longest stage."""
+    settings = settings or BenchSettings()
+    if matrix is None:
+        matrix = run_matrix(settings, engines=[BigKernelEngine()])
+    series: dict = {}
+    for app in APP_ORDER:
+        if app not in matrix.apps:
+            continue
+        totals = dict(matrix.get(app, "bigkernel").metrics.stage_totals)
+        # fold write-back stages into the forward view like the paper's
+        # four-bar chart (the write stages overlap the forward pipeline)
+        forward = {s: totals.get(s, 0.0) for s in FORWARD_STAGES}
+        longest = max(forward.values()) if forward else 1.0
+        series[app] = {
+            s: (forward[s] / longest if longest > 0 else 0.0) for s in FORWARD_STAGES
+        }
+    rows = [
+        [app] + [f"{series[app][s] * 100:.0f}%" for s in FORWARD_STAGES]
+        for app in series
+    ]
+    text = render_table(
+        ["app", *FORWARD_STAGES],
+        rows,
+        title="Fig. 6: stage completion time relative to the longest stage",
+    )
+    return FigureResult("fig6", series, text)

@@ -1,0 +1,90 @@
+"""Run-matrix harness: all apps x all schemes, with dataset caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.apps import ALL_APPS, get_app
+from repro.apps.base import AppData, Application
+from repro.engines import (
+    ALL_ENGINES,
+    BigKernelEngine,
+    CpuMtEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+    RunResult,
+)
+from repro.errors import ValidationFailure
+from repro.units import MiB
+
+
+@dataclass
+class BenchSettings:
+    """Workload sizing shared across one harness invocation."""
+
+    data_bytes: int = 8 * MiB
+    seed: int = 7
+    config: EngineConfig = field(default_factory=lambda: EngineConfig(chunk_bytes=2 * MiB))
+    #: cross-check every engine's output against the serial reference
+    validate: bool = True
+
+
+@dataclass
+class Matrix:
+    """Results of one apps-x-engines sweep."""
+
+    results: dict  # (app_name, engine_name) -> RunResult
+    apps: tuple
+    engines: tuple
+
+    def get(self, app: str, engine: str) -> RunResult:
+        return self.results[(app, engine)]
+
+    def speedup(self, app: str, engine: str, baseline: str = "cpu_serial") -> float:
+        return self.get(app, engine).speedup_over(self.get(app, baseline))
+
+
+def default_engines():
+    return (
+        CpuSerialEngine(),
+        CpuMtEngine(),
+        GpuSingleBufferEngine(),
+        GpuDoubleBufferEngine(),
+        BigKernelEngine(),
+    )
+
+
+def run_matrix(
+    settings: Optional[BenchSettings] = None,
+    apps: Optional[Iterable[Application]] = None,
+    engines: Optional[Iterable] = None,
+) -> Matrix:
+    """Run every engine on every app; validates output equality."""
+    settings = settings or BenchSettings()
+    apps = tuple(apps) if apps is not None else tuple(cls() for cls in ALL_APPS)
+    engines = tuple(engines) if engines is not None else default_engines()
+
+    results: dict = {}
+    for app in apps:
+        data = app.generate(n_bytes=settings.data_bytes, seed=settings.seed)
+        reference = None
+        for engine in engines:
+            res = engine.run(app, data, settings.config)
+            results[(app.name, engine.name)] = res
+            if reference is None:
+                reference = res
+            elif settings.validate and not app.outputs_equal(
+                reference.output, res.output
+            ):
+                raise ValidationFailure(
+                    f"{engine.name} output differs from {reference.engine} "
+                    f"on {app.name}"
+                )
+    return Matrix(
+        results=results,
+        apps=tuple(a.name for a in apps),
+        engines=tuple(e.name for e in engines),
+    )

@@ -1,0 +1,112 @@
+"""Plain-text rendering of tables and bar-chart-style series."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.sim.trace import Interval
+from repro.units import fmt_time
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: dict,
+    title: str = "",
+    unit: str = "x",
+    bar_scale: Optional[float] = None,
+    width: int = 40,
+) -> str:
+    """Horizontal ASCII bars — a terminal rendition of the paper's charts.
+
+    ``series`` maps label -> value (or label -> dict of sublabel -> value
+    for grouped bars).
+    """
+    lines = [title] if title else []
+    flat: list[tuple[str, float]] = []
+    for label, value in series.items():
+        if isinstance(value, dict):
+            for sub, v in value.items():
+                flat.append((f"{label} / {sub}", float(v)))
+        else:
+            flat.append((str(label), float(value)))
+    if not flat:
+        return title
+    peak = bar_scale or max(v for _, v in flat) or 1.0
+    label_w = max(len(l) for l, _ in flat)
+    for label, v in flat:
+        n = int(round(width * v / peak)) if peak > 0 else 0
+        lines.append(f"{label.ljust(label_w)} | {'#' * n} {v:.2f}{unit}")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "NA"
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def render_gantt(
+    trace,
+    width: int = 72,
+    tracks: Optional[Sequence[str]] = None,
+    max_rows: int = 40,
+) -> str:
+    """ASCII Gantt chart of a :class:`~repro.sim.trace.TraceRecorder`.
+
+    One row per (track, label); time runs left to right across ``width``
+    columns. Gives a terminal-friendly view of the pipeline overlap that
+    Fig. 2 of the paper draws.
+    """
+    intervals = trace.intervals
+    if not intervals:
+        return "(empty trace)"
+    t0 = min(iv.start for iv in intervals)
+    t1 = max(iv.end for iv in intervals)
+    span = max(t1 - t0, 1e-12)
+    if tracks is None:
+        tracks = list(dict.fromkeys(iv.track for iv in intervals))
+
+    rows: list[tuple[str, list[Interval]]] = []
+    for track in tracks:
+        track_ivs = [iv for iv in intervals if iv.track == track]
+        for label in dict.fromkeys(iv.label for iv in track_ivs):
+            rows.append(
+                (f"{track}:{label}", [iv for iv in track_ivs if iv.label == label])
+            )
+    rows = rows[:max_rows]
+
+    name_w = max(len(name) for name, _ in rows)
+    lines = [f"{'':{name_w}}  |{'-' * width}| {fmt_time(span)}"]
+    for name, ivs in rows:
+        cells = [" "] * width
+        for iv in ivs:
+            lo = int((iv.start - t0) / span * width)
+            hi = int((iv.end - t0) / span * width)
+            hi = max(hi, lo + 1)
+            for c in range(lo, min(hi, width)):
+                cells[c] = "#"
+        lines.append(f"{name:{name_w}}  |{''.join(cells)}|")
+    return "\n".join(lines)

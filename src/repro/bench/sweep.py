@@ -1,0 +1,104 @@
+"""Parameter sweeps and the per-scheme autotuner.
+
+The paper states (Section VI) that *each implementation is configured to
+run with the number of GPU computation threads [and] buffer sizes that
+result in the best execution time, as determined through
+experimentation*. :func:`autotune` reproduces that methodology: it sweeps
+a small grid per engine/app pair and returns the fastest configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig, RunResult
+from repro.errors import ReproError
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated configuration."""
+
+    params: dict
+    sim_time: float
+    result: RunResult = field(compare=False, repr=False)
+
+
+@dataclass
+class SweepResult:
+    """All points of one sweep, with the winner."""
+
+    points: list[SweepPoint]
+
+    @property
+    def best(self) -> SweepPoint:
+        if not self.points:
+            raise ReproError("sweep produced no points")
+        return min(self.points, key=lambda p: p.sim_time)
+
+    def series(self, key: str) -> dict:
+        """``param value -> sim time`` for rendering."""
+        return {p.params[key]: p.sim_time for p in self.points}
+
+
+def sweep(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    base_config: EngineConfig,
+    grid: dict,
+) -> SweepResult:
+    """Run ``engine`` over the cartesian product of ``grid`` overrides.
+
+    ``grid`` maps EngineConfig field names to candidate value lists; the
+    product is evaluated in deterministic order.
+    """
+    keys = sorted(grid)
+    points: list[SweepPoint] = []
+
+    def rec(i: int, chosen: dict) -> None:
+        if i == len(keys):
+            cfg = base_config.with_(**chosen)
+            result = engine.run(app, data, cfg)
+            points.append(SweepPoint(dict(chosen), result.sim_time, result))
+            return
+        for value in grid[keys[i]]:
+            chosen[keys[i]] = value
+            rec(i + 1, chosen)
+        del chosen[keys[i]]
+
+    rec(0, {})
+    return SweepResult(points)
+
+
+#: the default tuning grid: buffer size and launch width, the two knobs
+#: the paper tunes per implementation
+DEFAULT_GRID = {
+    "chunk_bytes": [512 * 1024, 1 * MiB, 2 * MiB, 4 * MiB],
+    "num_blocks": [8, 16],
+}
+
+
+def autotune(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    base_config: Optional[EngineConfig] = None,
+    grid: Optional[dict] = None,
+) -> tuple[EngineConfig, SweepResult]:
+    """Find the engine's best configuration for this app/dataset.
+
+    Returns ``(best_config, full_sweep)``. CPU engines are configuration-
+    insensitive and short-circuit to the base config.
+    """
+    base_config = base_config or EngineConfig()
+    if engine.name.startswith("cpu"):
+        result = engine.run(app, data, base_config)
+        return base_config, SweepResult(
+            [SweepPoint({}, result.sim_time, result)]
+        )
+    res = sweep(engine, app, data, base_config, grid or DEFAULT_GRID)
+    return base_config.with_(**res.best.params), res

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the library's surfaces:
+
+* ``apps`` — list the benchmark applications and their Table I profile;
+* ``run`` — one app on one (or all) execution scheme(s);
+* ``fig4a`` / ``fig4b`` / ``fig5`` / ``fig6`` / ``table1`` / ``table2`` —
+  regenerate one paper artifact;
+* ``hw`` — print the simulated testbed;
+* ``trace`` — run BigKernel on an app and dump a Chrome-trace timeline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import MiB, fmt_bandwidth, fmt_bytes, fmt_time
+
+
+def _settings(args):
+    from repro.bench import BenchSettings
+    from repro.engines import EngineConfig
+
+    return BenchSettings(
+        data_bytes=args.data_mib * MiB,
+        seed=args.seed,
+        config=EngineConfig(chunk_bytes=args.chunk_kib * 1024),
+    )
+
+
+def _add_common(p):
+    p.add_argument("--data-mib", type=int, default=16, help="dataset size (MiB)")
+    p.add_argument("--chunk-kib", type=int, default=2048, help="chunk payload (KiB)")
+    p.add_argument("--seed", type=int, default=7, help="data generator seed")
+
+
+def cmd_apps(args) -> int:
+    from repro.apps import ALL_APPS
+    from repro.bench.report import render_table
+
+    rows = []
+    for cls in ALL_APPS:
+        app = cls()
+        data = app.generate(n_bytes=2 * MiB, seed=0)
+        p = app.access_profile(data)
+        rows.append(
+            [
+                app.name,
+                app.display_name,
+                fmt_bytes(app.paper_data_bytes) + " (paper)",
+                f"{p.read_fraction * 100:.0f}%",
+                f"{p.write_fraction * 100:.0f}%",
+                "var" if p.variable_length else "fixed",
+                p.passes,
+            ]
+        )
+    print(render_table(
+        ["name", "application", "paper size", "read", "modified", "records", "passes"],
+        rows,
+    ))
+    return 0
+
+
+def cmd_run(args) -> int:
+    from repro.apps import get_app
+    from repro.bench.report import render_table
+    from repro.engines import ALL_ENGINES
+
+    app = get_app(args.app)
+    data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
+    settings = _settings(args)
+    engines = [cls() for cls in ALL_ENGINES]
+    if args.engine != "all":
+        engines = [e for e in engines if e.name == args.engine]
+        if not engines:
+            print(f"unknown engine {args.engine!r}", file=sys.stderr)
+            return 2
+    results = [e.run(app, data, settings.config) for e in engines]
+    for r in results[1:]:
+        if not app.outputs_equal(results[0].output, r.output):
+            print(f"OUTPUT MISMATCH in {r.engine}", file=sys.stderr)
+            return 1
+    base = results[0].sim_time
+    rows = [
+        [r.engine, fmt_time(r.sim_time), f"{base / r.sim_time:.2f}x",
+         fmt_bytes(r.metrics.bytes_h2d), r.metrics.n_chunks]
+        for r in results
+    ]
+    print(render_table(
+        ["scheme", "sim time", f"vs {results[0].engine}", "h2d", "chunks"],
+        rows,
+        title=f"{app.display_name}: {fmt_bytes(data.total_mapped_bytes)} mapped",
+    ))
+    return 0
+
+
+def cmd_figure(args) -> int:
+    from repro.bench import fig4a, fig4b, fig5, fig6, table1, table2
+
+    fn = {
+        "fig4a": fig4a,
+        "fig4b": fig4b,
+        "fig5": fig5,
+        "fig6": fig6,
+        "table1": table1,
+        "table2": table2,
+    }[args.command]
+    print(fn(_settings(args)).text)
+    return 0
+
+
+def cmd_hw(args) -> int:
+    from repro.hw.spec import DEFAULT_HARDWARE as hw
+
+    print(f"GPU:  {hw.gpu.name}")
+    print(f"      {hw.gpu.num_sms} SMs x {hw.gpu.cores_per_sm} cores @ "
+          f"{hw.gpu.clock_hz / 1e6:.0f} MHz, {fmt_bytes(hw.gpu.global_mem_bytes)} "
+          f"global memory @ {fmt_bandwidth(hw.gpu.mem_bandwidth)}")
+    print(f"CPU:  {hw.cpu.name}")
+    print(f"      {hw.cpu.cores} cores / {hw.cpu.threads} threads @ "
+          f"{hw.cpu.clock_hz / 1e9:.1f} GHz, {fmt_bytes(hw.cpu.cache_bytes)} cache, "
+          f"{fmt_bandwidth(hw.cpu.mem_bandwidth)} socket bandwidth")
+    print(f"Link: {hw.pcie.name}: {fmt_bandwidth(hw.pcie.raw_bandwidth)} raw "
+          f"({fmt_bandwidth(hw.pcie.pinned_bandwidth)} pinned, "
+          f"{fmt_bandwidth(hw.pcie.pageable_bandwidth)} pageable), "
+          f"{hw.pcie.latency * 1e6:.0f} us DMA setup")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.apps import get_app
+    from repro.engines import BigKernelEngine
+
+    app = get_app(args.app)
+    data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
+    res = BigKernelEngine().run(app, data, _settings(args).config)
+    assert res.trace is not None
+    res.trace.dump_chrome_trace(args.out)
+    if args.gantt:
+        from repro.bench.report import render_gantt
+
+        print(render_gantt(res.trace))
+    print(f"wrote {len(res.trace)} intervals over {fmt_time(res.sim_time)} "
+          f"to {args.out} (open in Perfetto / chrome://tracing)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BigKernel (IPDPS 2014) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("apps", help="list benchmark applications")
+    sub.add_parser("hw", help="print the simulated testbed")
+
+    p_run = sub.add_parser("run", help="run one app on the execution schemes")
+    p_run.add_argument("app", help="application name (see `repro apps`)")
+    p_run.add_argument("--engine", default="all",
+                       help="engine name or 'all' (default)")
+    _add_common(p_run)
+
+    for name, help_text in (
+        ("fig4a", "speedups over serial CPU (Fig. 4a)"),
+        ("fig4b", "comp/comm ratio, single buffer (Fig. 4b)"),
+        ("fig5", "incremental feature benefit (Fig. 5)"),
+        ("fig6", "pipeline stage breakdown (Fig. 6)"),
+        ("table1", "mapped-data characteristics (Table I)"),
+        ("table2", "pattern-recognition benefit (Table II)"),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        _add_common(p)
+
+    p_tr = sub.add_parser("trace", help="dump a BigKernel Chrome-trace timeline")
+    p_tr.add_argument("app")
+    p_tr.add_argument("--out", default="bigkernel_trace.json")
+    p_tr.add_argument("--gantt", action="store_true",
+                      help="also print an ASCII Gantt chart")
+    _add_common(p_tr)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "apps": cmd_apps,
+        "run": cmd_run,
+        "hw": cmd_hw,
+        "trace": cmd_trace,
+        "fig4a": cmd_figure,
+        "fig4b": cmd_figure,
+        "fig5": cmd_figure,
+        "fig6": cmd_figure,
+        "table1": cmd_figure,
+        "table2": cmd_figure,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""The five execution schemes the paper evaluates (Section VI):
+
+1. :class:`CpuSerialEngine` — single-threaded CPU baseline (the speedup
+   denominator of Fig. 4a).
+2. :class:`CpuMtEngine` — multithreaded CPU baseline.
+3. :class:`GpuSingleBufferEngine` — one staging buffer, transfers and
+   kernels strictly serialized.
+4. :class:`GpuDoubleBufferEngine` — two buffers, transfer of chunk *n+1*
+   overlapped with computation of chunk *n* (the prior state of the art).
+5. :class:`BigKernelEngine` — the paper's contribution, with feature flags
+   matching the Section VI-B ablation (overlap only / + transfer-volume
+   reduction / + memory coalescing) and a pattern-recognition switch for
+   Table II.
+
+All engines produce *functional* output through the same chunked kernel
+path (validated equal across engines) and *temporal* results through the
+hardware cost models on the simulated timeline.
+"""
+
+from repro.engines.base import Engine, EngineConfig, RunResult, RunMetrics
+from repro.engines.cpu_serial import CpuSerialEngine
+from repro.engines.cpu_mt import CpuMtEngine
+from repro.engines.gpu_single import GpuSingleBufferEngine
+from repro.engines.gpu_double import GpuDoubleBufferEngine
+from repro.engines.bigkernel import BigKernelEngine, BigKernelFeatures
+
+ALL_ENGINES = (
+    CpuSerialEngine,
+    CpuMtEngine,
+    GpuSingleBufferEngine,
+    GpuDoubleBufferEngine,
+    BigKernelEngine,
+)
+
+__all__ = [
+    "Engine",
+    "EngineConfig",
+    "RunResult",
+    "RunMetrics",
+    "CpuSerialEngine",
+    "CpuMtEngine",
+    "GpuSingleBufferEngine",
+    "GpuDoubleBufferEngine",
+    "BigKernelEngine",
+    "BigKernelFeatures",
+    "ALL_ENGINES",
+]

@@ -1,0 +1,145 @@
+"""Engine base class, configuration, and run metrics."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.apps.base import AccessProfile, AppData, Application
+from repro.errors import RuntimeConfigError
+from repro.hw.spec import DEFAULT_HARDWARE, HardwareSpec
+from repro.sim.trace import TraceRecorder
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs shared by every execution scheme.
+
+    The paper configures each implementation with the thread count and
+    buffer sizes that empirically perform best; these defaults are the
+    best-of-sweep values for the default workloads (see
+    ``benchmarks/test_ablation_buffers.py`` for the sweep itself).
+    """
+
+    hardware: HardwareSpec = DEFAULT_HARDWARE
+    #: payload capacity of one GPU-side buffer instance
+    chunk_bytes: int = 8 * MiB
+    #: thread blocks launched (BigKernel may activate fewer, Section IV-D)
+    num_blocks: int = 16
+    #: computation threads per block (BigKernel adds as many addr-gen ones)
+    compute_threads: int = 256
+    #: buffer instances per set (ring depth)
+    ring_depth: int = 3
+    #: enable online pattern recognition (Table II's switch)
+    pattern_recognition: bool = True
+
+    def __post_init__(self):
+        if self.chunk_bytes < 1024:
+            raise RuntimeConfigError("chunk_bytes must be at least 1 KiB")
+        if self.num_blocks < 1:
+            raise RuntimeConfigError("num_blocks must be >= 1")
+        if self.compute_threads < 32 or self.compute_threads % 32:
+            raise RuntimeConfigError(
+                "compute_threads must be a positive multiple of the warp size"
+            )
+        if self.ring_depth < 2:
+            raise RuntimeConfigError("ring_depth must be >= 2")
+
+    @property
+    def total_compute_threads(self) -> int:
+        return self.num_blocks * self.compute_threads
+
+    def with_(self, **overrides) -> "EngineConfig":
+        return replace(self, **overrides)
+
+
+@dataclass
+class RunMetrics:
+    """Counted work and timeline breakdown of one engine run."""
+
+    n_chunks: int = 0
+    bytes_h2d: int = 0
+    bytes_d2h: int = 0
+    #: time spent computing (GPU kernel or CPU loop)
+    comp_time: float = 0.0
+    #: time spent moving data (staging + DMA), for Fig. 4(b)
+    comm_time: float = 0.0
+    #: per-stage busy totals (BigKernel; Fig. 6)
+    stage_totals: dict = field(default_factory=dict)
+    #: fraction of sampled addr-gen threads whose stream compressed to a
+    #: pattern descriptor
+    pattern_fraction: float = 0.0
+    kernel_launches: int = 0
+    notes: dict = field(default_factory=dict)
+
+    @property
+    def comp_comm_ratio(self) -> float:
+        """Computation share of comp+comm (Fig. 4(b)'s y-axis)."""
+        total = self.comp_time + self.comm_time
+        return self.comp_time / total if total > 0 else 0.0
+
+
+@dataclass
+class RunResult:
+    """Outcome of one engine run: output + simulated time + metrics."""
+
+    engine: str
+    app: str
+    output: Any
+    sim_time: float
+    metrics: RunMetrics
+    trace: Optional[TraceRecorder] = None
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """``other.sim_time / self.sim_time`` (how much faster *self* is)."""
+        if self.sim_time <= 0:
+            raise RuntimeConfigError("cannot compute speedup of a zero-time run")
+        return other.sim_time / self.sim_time
+
+
+class Engine(abc.ABC):
+    """One execution scheme."""
+
+    name: str = ""
+    display_name: str = ""
+
+    @abc.abstractmethod
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        """Execute ``app`` over ``data``; returns output + simulated time."""
+
+    # ------------------------------------------------------------- shared
+    @staticmethod
+    def _functional_output(
+        app: Application, data: AppData, bounds: list[tuple[int, int]]
+    ) -> Any:
+        """Run the app's chunked kernel over all passes (the semantics every
+        scheme shares; schemes differ only in data movement)."""
+        state = app.make_state(data)
+        for p in range(app.n_passes):
+            app.start_pass(data, state, p)
+            for lo, hi in bounds:
+                app.process_chunk(data, state, lo, hi)
+        return app.finalize(data, state)
+
+    @staticmethod
+    def totals(app: Application, data: AppData, profile: AccessProfile) -> dict:
+        """Aggregate work quantities every cost model starts from."""
+        units = app.n_units(data)
+        return {
+            "units": units,
+            "data_bytes": units * profile.record_bytes,
+            "read_bytes": units * profile.read_bytes_per_record,
+            "write_bytes": units * profile.write_bytes_per_record,
+            "reads": units * profile.reads_per_record,
+            "writes": units * profile.writes_per_record,
+            "gpu_ops": units * profile.gpu_ops_per_record,
+            "cpu_ops": units * profile.cpu_ops_per_record,
+            "resident_bytes": units * profile.resident_bytes_per_record,
+        }

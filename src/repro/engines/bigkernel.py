@@ -1,0 +1,402 @@
+"""The BigKernel execution scheme — the paper's contribution.
+
+Drives the full mechanism: compiler slice (with the fall-back-to-all-data
+path for unsliceable kernels), online pattern recognition sampled from the
+app's *actual* per-thread address streams, per-block buffer allocation
+under real pinned/GPU memory accounting, and the 4/6-stage pipeline on the
+simulated timeline.
+
+Feature flags reproduce the Section VI-B ablation:
+
+* ``BigKernelFeatures.overlap_only()`` — pipelined execution only: all data
+  transferred in its original layout.
+* ``BigKernelFeatures.with_reduction()`` — + transfer only the bytes the
+  computation needs (original relative layout, so no coalescing gain).
+* ``BigKernelFeatures.full()`` — + assembly re-layout for coalesced GPU
+  accesses (the complete system).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
+from repro.engines.gpu_common import (
+    addr_gen_chunk_cost,
+    chunk_plan,
+    kernel_chunk_cost,
+    original_access_pattern,
+)
+from repro.errors import SlicingError
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+from repro.hw.gpu_memory import GpuMemoryAllocator
+from repro.hw.pinned import PinnedAllocator
+from repro.kernelc.slicing import make_addrgen_kernel
+from repro.runtime.assembly import estimate_assembly_hit_rate
+from repro.runtime.buffers import BlockBuffers, BufferConfig
+from repro.runtime.pattern import (
+    ADDRESS_BYTES,
+    OnlineAddressTracker,
+    PatternRecognizer,
+    PATTERN_DESCRIPTOR_BYTES,
+)
+from repro.runtime.pipeline import (
+    STAGE_ADDR_GEN,
+    STAGE_ASSEMBLY,
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    STAGE_WRITEBACK_SCATTER,
+    STAGE_WRITEBACK_XFER,
+    ChunkWork,
+    PipelineConfig,
+    run_pipeline,
+)
+from repro.runtime.scheduler import ThreadLayout, plan_blocks
+
+#: per-thread temp buffer for online pattern detection (addresses); the
+#: paper keeps this in shared memory when it fits, GPU memory otherwise
+PATTERN_TEMP_BUFFER = 128
+#: longest per-thread stride cycle the recognizer searches for
+PATTERN_MAX_PERIOD = 64
+#: threads sampled per run for honest pattern detection
+PATTERN_SAMPLE_THREADS = 4
+#: addresses fed per sampled thread
+PATTERN_SAMPLE_ADDRS = 2048
+
+
+@dataclass(frozen=True)
+class BigKernelFeatures:
+    """Ablation switches (Fig. 5's three variants)."""
+
+    reduce_volume: bool = True
+    coalesce: bool = True
+
+    @staticmethod
+    def overlap_only() -> "BigKernelFeatures":
+        return BigKernelFeatures(reduce_volume=False, coalesce=False)
+
+    @staticmethod
+    def with_reduction() -> "BigKernelFeatures":
+        return BigKernelFeatures(reduce_volume=True, coalesce=False)
+
+    @staticmethod
+    def full() -> "BigKernelFeatures":
+        return BigKernelFeatures(reduce_volume=True, coalesce=True)
+
+    @property
+    def label(self) -> str:
+        if not self.reduce_volume and not self.coalesce:
+            return "overlap-only"
+        if self.reduce_volume and not self.coalesce:
+            return "volume-reduction"
+        if self.reduce_volume and self.coalesce:
+            return "full"
+        return "coalesce-only"
+
+
+@dataclass
+class BigKernelSchedule:
+    """Resolved plan of one BigKernel run (before simulation)."""
+
+    chunks: list
+    pipe_cfg: PipelineConfig
+    upc: int
+    pattern_fraction: float
+    pattern_on: bool
+    sliceable: bool
+    reduce_volume: bool
+    active_blocks: int
+    workers: int
+
+
+class BigKernelEngine(Engine):
+    """4/6-stage pipelined execution with prefetching (the paper's scheme)."""
+
+    name = "bigkernel"
+    display_name = "GPU BigKernel"
+
+    def __init__(self, features: BigKernelFeatures = BigKernelFeatures.full()):
+        self.features = features
+
+    # ----------------------------------------------------------- helpers
+    def _sliceable(self, app: Application, profile) -> bool:
+        """Try the real compiler slice; fall back to the profile's claim."""
+        kernel = app.kernel()
+        if kernel is None:
+            return profile.sliceable
+        try:
+            make_addrgen_kernel(kernel)
+            return True
+        except SlicingError:
+            return False
+
+    def _sample_pattern_fraction(
+        self,
+        app: Application,
+        data: AppData,
+        config: EngineConfig,
+        units_per_chunk: int,
+    ) -> float:
+        """Feed real per-thread address streams to the online tracker.
+
+        Thread *t* of the first chunk owns a contiguous unit subrange
+        (the ``myParticleStartIndex`` convention); its address stream is the
+        app's read offsets over that subrange.
+        """
+        threads = config.total_compute_threads
+        n_units = app.n_units(data)
+        first_chunk_units = min(units_per_chunk, n_units)
+        per_thread = max(1, first_chunk_units // threads)
+        # per-period evidence (two full cycles) is enforced inside
+        # recognize(); the floor only guards against trivial samples
+        recognizer = PatternRecognizer(max_period=PATTERN_MAX_PERIOD, min_samples=8)
+        hits = 0
+        sampled = 0
+        for t in range(min(PATTERN_SAMPLE_THREADS, threads)):
+            lo = t * per_thread
+            hi = min(lo + per_thread, first_chunk_units)
+            if hi <= lo:
+                break
+            offsets = app.chunk_read_offsets(data, lo, hi)
+            # a cycle needs two full periods of evidence; short per-chunk
+            # spans sample a longer stretch of the thread's stream
+            while offsets.size < 2 * PATTERN_MAX_PERIOD + 2 and hi < n_units:
+                hi = min(hi + per_thread + 1, n_units)
+                offsets = app.chunk_read_offsets(data, lo, hi)
+            if offsets.size == 0:
+                continue
+            tracker = OnlineAddressTracker(
+                recognizer, temp_buffer=PATTERN_TEMP_BUFFER
+            )
+            tracker.feed_many(offsets[:PATTERN_SAMPLE_ADDRS].tolist())
+            tracker.finish()
+            hits += int(tracker.has_pattern)
+            sampled += 1
+        return hits / sampled if sampled else 0.0
+
+    def _allocate_buffers(
+        self, config: EngineConfig, writes: bool
+    ) -> tuple[int, BufferConfig]:
+        """Plan active blocks and allocate their buffer sets for real."""
+        gpu_dev = GpuDevice(config.hardware.gpu)
+        layout = ThreadLayout(compute_threads=config.compute_threads)
+        per_block = max(4096, config.chunk_bytes // config.num_blocks)
+        buf_cfg = BufferConfig(
+            data_buf_bytes=per_block,
+            addr_buf_entries=max(64, per_block // 4),
+            instances=config.ring_depth,
+            write_buf_bytes=per_block // 4 if writes else 0,
+        )
+        plan = plan_blocks(gpu_dev, layout, buf_cfg, config.num_blocks)
+        pinned = PinnedAllocator(config.hardware.cpu.dram_bytes // 2)
+        gpu_mem = GpuMemoryAllocator(config.hardware.gpu.global_mem_bytes)
+        blocks = [BlockBuffers(b, buf_cfg) for b in range(plan.active_blocks)]
+        for bb in blocks:
+            bb.allocate(pinned, gpu_mem)
+        for bb in blocks:
+            bb.release(pinned, gpu_mem)
+        return plan.active_blocks, buf_cfg
+
+    # ----------------------------------------------------------- schedule
+    def _schedule(
+        self,
+        app: Application,
+        data: AppData,
+        config: EngineConfig,
+        units: Optional[int] = None,
+        workers_override: Optional[int] = None,
+    ) -> "BigKernelSchedule":
+        """Build the chunk schedule and pipeline config for ``units`` units
+        (defaults to the whole dataset). Exposed so layered engines (e.g.
+        the multi-GPU extension) can plan per-shard schedules with their
+        own CPU-worker budgets."""
+        hw = config.hardware
+        profile = app.access_profile(data)
+        totals = self.totals(app, data, profile)
+        gpu = GpuDevice(hw.gpu)
+        cpu = CpuDevice(hw.cpu)
+
+        sliceable = self._sliceable(app, profile)
+        reduce_volume = self.features.reduce_volume and sliceable
+        payload_per_unit = (
+            profile.read_bytes_per_record if reduce_volume else profile.record_bytes
+        )
+        units = totals["units"] if units is None else units
+        upc, _ = chunk_plan(units, config.chunk_bytes, payload_per_unit)
+
+        # Pattern recognition on real address streams (Table II's switch).
+        pattern_fraction = 0.0
+        if config.pattern_recognition and profile.pattern_friendly is not None:
+            pattern_fraction = self._sample_pattern_fraction(app, data, config, upc)
+        pattern_on = config.pattern_recognition and pattern_fraction >= 0.5
+
+        active_blocks, buf_cfg = self._allocate_buffers(config, app.writes_mapped)
+        workers = (
+            workers_override
+            if workers_override is not None
+            else min(active_blocks, hw.cpu.threads)
+        )
+        threads = config.total_compute_threads
+        sync_overhead = gpu.flag_wait_overhead(2) + 2 * hw.gpu.global_latency
+
+        chunks = []
+        index = 0
+        for _ in range(profile.passes):
+            remaining = units
+            while remaining > 0:
+                u = min(upc, remaining)
+                raw = u * profile.record_bytes
+                reads = u * profile.reads_per_record
+                emitted = u * profile.emitted_addresses_per_record
+                read_bytes = u * profile.read_bytes_per_record
+                payload = u * payload_per_unit
+
+                # Stage 1: address generation (+ address shipping when no
+                # pattern compresses the stream).
+                t_ag = gpu.stage_time(addr_gen_chunk_cost(profile, u), threads)
+                if not reduce_volume or pattern_on:
+                    # A verified pattern (or the degenerate whole-range
+                    # slice) sends one tiny descriptor per thread for the
+                    # entire run — amortized to nothing per chunk.
+                    addr_d2h = 0
+                else:
+                    addr_d2h = int(emitted * ADDRESS_BYTES)
+
+                # Stage 2: data assembly.
+                if not reduce_volume:
+                    # No gathering: plain staging copy, parallel across the
+                    # per-block CPU threads.
+                    t_asm = cpu.staging_copy_time(raw) / (workers * hw.cpu.mt_efficiency)
+                    t_asm = max(t_asm, 2.0 * raw / hw.cpu.mem_bandwidth)
+                else:
+                    hit = estimate_assembly_hit_rate(
+                        elem_bytes=profile.elem_bytes,
+                        record_bytes=int(max(profile.record_bytes, 1)),
+                        threads=threads,
+                        chunk_bytes=int(raw),
+                        cpu=hw.cpu,
+                        locality_opt=pattern_on,
+                        reads_per_record=profile.reads_per_record,
+                    )
+                    # A recognized pattern exposes contiguous runs the
+                    # gather loop copies whole; without one, every emitted
+                    # address is a separate address-driven copy.
+                    if pattern_on:
+                        accesses = read_bytes / profile.gather_run_bytes
+                    else:
+                        accesses = emitted
+                    per_thread_t = cpu.assembly_time(
+                        n_elements=emitted,
+                        elem_bytes=read_bytes / max(emitted, 1e-9),
+                        hit_rate=hit,
+                        address_driven=not pattern_on,
+                        n_accesses=accesses,
+                    )
+                    t_asm = per_thread_t / (workers * hw.cpu.mt_efficiency)
+                    t_asm = max(t_asm, 2.0 * read_bytes / hw.cpu.mem_bandwidth)
+
+                # Stage 4: computation on the (re)laid-out buffer.
+                coalesced = self.features.coalesce and reduce_volume
+                cost = kernel_chunk_cost(profile, u, coalesced=coalesced)
+                t_comp = gpu.stage_time(cost, threads)
+
+                # Stages 5-6: mapped writes.
+                wb = u * profile.write_bytes_per_record
+                t_scatter = 0.0
+                if wb > 0:
+                    w_elem = profile.write_bytes_per_record / max(
+                        profile.writes_per_record, 1e-9
+                    )
+                    t_scatter = cpu.scatter_time(
+                        u * profile.writes_per_record, w_elem, hit_rate=0.9
+                    ) / (workers * hw.cpu.mt_efficiency)
+
+                chunks.append(
+                    ChunkWork(
+                        index=index,
+                        t_addr_gen=t_ag,
+                        addr_bytes_d2h=int(addr_d2h),
+                        t_assembly=t_asm,
+                        xfer_bytes=int(payload),
+                        t_compute=t_comp,
+                        write_bytes=int(wb),
+                        t_scatter=t_scatter,
+                        # each block's buffer set is its own DMA; assembly
+                        # threads issue one consolidated copy per worker
+                        xfer_segments=workers,
+                    )
+                )
+                index += 1
+                remaining -= u
+
+        pipe_cfg = PipelineConfig(
+            ring_depth=config.ring_depth,
+            cpu_workers=2,  # aggregate stage times are pre-divided by workers
+            sync_overhead=sync_overhead,
+        )
+        return BigKernelSchedule(
+            chunks=chunks,
+            pipe_cfg=pipe_cfg,
+            upc=upc,
+            pattern_fraction=pattern_fraction,
+            pattern_on=pattern_on,
+            sliceable=sliceable,
+            reduce_volume=reduce_volume,
+            active_blocks=active_blocks,
+            workers=workers,
+        )
+
+    # --------------------------------------------------------------- run
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        hw = config.hardware
+        gpu = GpuDevice(hw.gpu)
+        sched = self._schedule(app, data, config)
+        chunks, upc = sched.chunks, sched.upc
+        pattern_fraction, pattern_on = sched.pattern_fraction, sched.pattern_on
+        sliceable, reduce_volume = sched.sliceable, sched.reduce_volume
+        active_blocks, workers = sched.active_blocks, sched.workers
+
+        result = run_pipeline(hw, chunks, sched.pipe_cfg)
+        # BigKernel launches ONE kernel for the whole computation.
+        sim_time = result.total_time + gpu.spec.kernel_launch_overhead
+
+        bounds = app.chunk_bounds(data, upc)
+        output = self._functional_output(app, data, bounds)
+        comm = (
+            result.stage_totals.get(STAGE_TRANSFER, 0.0)
+            + result.stage_totals.get(STAGE_WRITEBACK_XFER, 0.0)
+        )
+        metrics = RunMetrics(
+            n_chunks=len(chunks),
+            bytes_h2d=result.bytes_h2d,
+            bytes_d2h=result.bytes_d2h,
+            comp_time=result.stage_totals.get(STAGE_COMPUTE, 0.0),
+            comm_time=comm,
+            stage_totals=result.stage_totals,
+            pattern_fraction=pattern_fraction,
+            kernel_launches=1,
+            notes={
+                "features": self.features.label,
+                "sliceable": sliceable,
+                "reduce_volume": reduce_volume,
+                "pattern_on": pattern_on,
+                "active_blocks": active_blocks,
+                "units_per_chunk": upc,
+                "workers": workers,
+            },
+        )
+        return RunResult(
+            self.name, app.name, output, sim_time, metrics, trace=result.trace
+        )

@@ -1,0 +1,42 @@
+"""CPU-based serial implementation — the Fig. 4(a) speedup denominator."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
+from repro.hw.cpu import CpuDevice
+
+
+class CpuSerialEngine(Engine):
+    """One host thread streaming over the data."""
+
+    name = "cpu_serial"
+    display_name = "CPU Serial"
+
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        profile = app.access_profile(data)
+        totals = self.totals(app, data, profile)
+        cpu = CpuDevice(config.hardware.cpu)
+
+        # The serial implementation touches all record bytes every pass and
+        # performs the scalar arithmetic of the kernel.
+        sim_time = cpu.serial_compute_time(
+            n_ops=totals["cpu_ops"] * profile.passes,
+            bytes_streamed=totals["data_bytes"] * profile.passes,
+        )
+        output = app.reference(data)
+        metrics = RunMetrics(
+            n_chunks=1,
+            comp_time=sim_time,
+            comm_time=0.0,
+            notes={"threads": 1},
+        )
+        return RunResult(self.name, app.name, output, sim_time, metrics)

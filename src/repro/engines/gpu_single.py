@@ -1,0 +1,79 @@
+"""GPU single-buffer implementation: transfers and kernels serialized.
+
+One staging buffer, one device buffer: for each chunk the host copies data
+into the pinned staging buffer, the DMA moves it to the device, the kernel
+runs, and (for writers) results come back — all strictly in sequence. This
+is the scheme Fig. 4(b)'s computation/communication ratio is reported for.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
+from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+
+
+class GpuSingleBufferEngine(Engine):
+    """Serialized chunked execution (no overlap)."""
+
+    name = "gpu_single"
+    display_name = "GPU Single Buffer"
+
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        hw = config.hardware
+        profile = app.access_profile(data)
+        totals = self.totals(app, data, profile)
+        gpu = GpuDevice(hw.gpu)
+        cpu = CpuDevice(hw.cpu)
+
+        units = totals["units"]
+        upc, n_chunks = chunk_plan(units, config.chunk_bytes, profile.record_bytes)
+        threads = config.total_compute_threads
+
+        comm = 0.0
+        comp = 0.0
+        launches = 0
+        bytes_h2d = 0
+        bytes_d2h = 0
+        for _ in range(profile.passes):
+            remaining = units
+            while remaining > 0:
+                u = min(upc, remaining)
+                raw = u * profile.record_bytes
+                comm += cpu.staging_copy_time(raw)
+                comm += hw.pcie.transfer_time(raw, pinned=True)
+                bytes_h2d += int(raw)
+                cost = kernel_chunk_cost(profile, u, coalesced=False)
+                comp += gpu.stage_time(cost, threads) + gpu.spec.kernel_launch_overhead
+                launches += 1
+                wb = u * profile.write_bytes_per_record
+                if wb > 0:
+                    comm += hw.pcie.transfer_time(wb, pinned=True)
+                    comm += cpu.staging_copy_time(wb)  # apply into the source
+                    bytes_d2h += int(wb)
+                remaining -= u
+        sim_time = comm + comp
+
+        bounds = app.chunk_bounds(data, upc)
+        output = self._functional_output(app, data, bounds)
+        metrics = RunMetrics(
+            n_chunks=n_chunks * profile.passes,
+            bytes_h2d=bytes_h2d,
+            bytes_d2h=bytes_d2h,
+            comp_time=comp,
+            comm_time=comm,
+            kernel_launches=launches,
+            notes={"units_per_chunk": upc},
+        )
+        return RunResult(self.name, app.name, output, sim_time, metrics)

@@ -1,0 +1,84 @@
+"""Exception hierarchy for the BigKernel reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SimulationError(ReproError):
+    """Errors raised by the discrete-event simulation engine."""
+
+
+class Interrupt(SimulationError):
+    """Raised inside a simulated process that another process interrupted.
+
+    Mirrors SimPy's ``Interrupt``: the ``cause`` attribute carries the value
+    supplied by the interrupter.
+    """
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Deadlock(SimulationError):
+    """The event queue drained while processes were still waiting."""
+
+
+class HardwareError(ReproError):
+    """Errors raised by the hardware cost models."""
+
+
+class GpuOutOfMemory(HardwareError):
+    """A GPU-side allocation exceeded the device's global memory."""
+
+
+class PinnedMemoryExceeded(HardwareError):
+    """CPU-side pinned allocations exceeded the configured host limit."""
+
+
+class AllocationError(HardwareError):
+    """Generic allocator failure (double free, unknown handle, ...)."""
+
+
+class CompilerError(ReproError):
+    """Errors raised by the kernel IR compiler (``repro.kernelc``)."""
+
+
+class IRValidationError(CompilerError):
+    """The kernel IR failed structural validation."""
+
+
+class SlicingError(CompilerError):
+    """The address-generation slice could not be derived.
+
+    The paper's fallback in this situation is to fetch *all* data (degrading
+    to double-buffering behaviour); the runtime treats this exception as the
+    trigger for that fallback.
+    """
+
+
+class RuntimeConfigError(ReproError):
+    """Invalid BigKernel runtime configuration (buffer sizes, block counts)."""
+
+
+class BufferOverrun(ReproError):
+    """A pipeline stage wrote past the end of its staged buffer."""
+
+
+class SynchronizationError(ReproError):
+    """Pipeline synchronization protocol violation (e.g. consume-before-produce)."""
+
+
+class ApplicationError(ReproError):
+    """Errors raised by the benchmark applications."""
+
+
+class ValidationFailure(ReproError):
+    """An engine produced output that does not match the CPU reference."""

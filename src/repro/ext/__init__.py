@@ -1,0 +1,26 @@
+"""Extensions beyond the paper's evaluated system.
+
+* :mod:`repro.ext.mapreduce` — the paper's stated future work ("we plan on
+  applying BigKernel to MapReduce"): a map/reduce front end that compiles a
+  record-wise mapper + associative reducer into a streaming
+  :class:`~repro.apps.base.Application`, so arbitrary MapReduce jobs run on
+  every execution scheme (including BigKernel) unchanged.
+* :mod:`repro.ext.multigpu` — sharding the stream across several simulated
+  GPUs, each with its own pipeline (and optionally its own PCIe link).
+* :mod:`repro.ext.uvm` — a fault-driven unified-memory baseline: the
+  mechanism that later delivered BigKernel's programming model in the
+  driver, and the historical reason this line of work was superseded.
+"""
+
+from repro.ext.mapreduce import MapReduceSpec, MapReduceApp, make_clickstream_job
+from repro.ext.multigpu import MultiGpuBigKernelEngine
+from repro.ext.uvm import GpuUvmEngine, UvmSpec
+
+__all__ = [
+    "MapReduceSpec",
+    "MapReduceApp",
+    "make_clickstream_job",
+    "MultiGpuBigKernelEngine",
+    "GpuUvmEngine",
+    "UvmSpec",
+]

@@ -1,0 +1,217 @@
+"""MapReduce over streamed records (the paper's future-work direction).
+
+A :class:`MapReduceSpec` describes a job: the record schema, which fields
+the mapper reads, a vectorized mapper emitting ``(key, value)`` pairs, and
+an associative reducer. :class:`MapReduceApp` turns that into a full
+:class:`~repro.apps.base.Application`, so the job runs on all five
+execution schemes — with BigKernel streaming the records, prefetching only
+the mapper's input fields, and reducing into a GPU-resident table.
+
+The map phase is embarrassingly record-parallel (the paper's target
+class); the reduce phase is an associative accumulation into a resident
+table, merged across chunks — semantically the combiner/reducer of
+classic MapReduce with a fixed key space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.apps.base import AccessProfile, AppData, Application
+from repro.errors import ApplicationError
+from repro.kernelc.ir import RecordSchema
+from repro.units import MiB
+
+#: built-in associative reducers: (numpy scatter-reduce, identity element)
+REDUCERS: dict[str, tuple[Callable, float]] = {
+    "sum": (np.add.at, 0.0),
+    "count": (np.add.at, 0.0),
+    "max": (np.maximum.at, -np.inf),
+    "min": (np.minimum.at, np.inf),
+}
+
+
+@dataclass(frozen=True)
+class MapReduceSpec:
+    """Declarative description of one MapReduce job."""
+
+    name: str
+    schema: RecordSchema
+    #: fields of each record the mapper consumes (drives prefetch volume)
+    read_fields: tuple[str, ...]
+    #: vectorized mapper: (record batch as structured array, params) ->
+    #: (int64 keys array, float64 values array); one pair per record
+    mapper: Callable[[np.ndarray, dict], tuple[np.ndarray, np.ndarray]]
+    #: one of "sum", "count", "max", "min"
+    reducer: str
+    #: size of the key space (resident result table length)
+    n_keys: int
+    #: synthetic record generator: (rng, n_records) -> structured array
+    generator: Callable[[np.random.Generator, int], np.ndarray]
+    #: arithmetic cost of the mapper per record (GPU ops; scalar CPU cost
+    #: is assumed 2x — mapper code is branchy on a CPU)
+    map_ops_per_record: float = 50.0
+    #: warp-divergence factor of the mapper + reduce atomics
+    gpu_divergence: float = 4.0
+
+    def __post_init__(self):
+        if self.reducer not in REDUCERS:
+            raise ApplicationError(
+                f"unknown reducer {self.reducer!r}; known: {sorted(REDUCERS)}"
+            )
+        if self.n_keys < 1:
+            raise ApplicationError("n_keys must be >= 1")
+        if not self.read_fields:
+            raise ApplicationError("mapper must read at least one field")
+        for f in self.read_fields:
+            self.schema.field(f)  # raises on unknown field
+
+
+class MapReduceApp(Application):
+    """An Application generated from a MapReduceSpec."""
+
+    writes_mapped = False
+
+    def __init__(self, spec: MapReduceSpec, paper_data_bytes: int = 64 * MiB):
+        self.spec = spec
+        self.name = f"mapreduce_{spec.name}"
+        self.display_name = f"MapReduce: {spec.name}"
+        self.paper_data_bytes = paper_data_bytes
+
+    # ------------------------------------------------------------- data
+    def generate(self, n_bytes: Optional[int] = None, seed: int = 0) -> AppData:
+        n_bytes = n_bytes or self.default_bytes()
+        n = max(1, n_bytes // self.spec.schema.record_size)
+        rng = np.random.default_rng(seed)
+        records = self.spec.generator(rng, n)
+        if records.dtype.itemsize != self.spec.schema.record_size:
+            raise ApplicationError(
+                "generator produced records not matching the schema"
+            )
+        _, identity = REDUCERS[self.spec.reducer]
+        return AppData(
+            app=self.name,
+            mapped={"records": records},
+            schemas={"records": self.spec.schema},
+            resident={"table": np.full(self.spec.n_keys, identity)},
+            params={"numR": n},
+            primary="records",
+        )
+
+    # ----------------------------------------------------- map + reduce
+    def make_state(self, data: AppData) -> Any:
+        _, identity = REDUCERS[self.spec.reducer]
+        return {"table": np.full(self.spec.n_keys, identity, dtype=np.float64)}
+
+    def process_chunk(self, data: AppData, state: Any, lo: int, hi: int) -> None:
+        batch = data.mapped["records"][lo:hi]
+        keys, values = self.spec.mapper(batch, data.params)
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.min(initial=0) < 0 or keys.max(initial=0) >= self.spec.n_keys:
+            raise ApplicationError("mapper emitted keys outside [0, n_keys)")
+        if self.spec.reducer == "count":
+            values = np.ones_like(keys, dtype=np.float64)
+        scatter, _ = REDUCERS[self.spec.reducer]
+        scatter(state["table"], keys, np.asarray(values, dtype=np.float64))
+
+    def finalize(self, data: AppData, state: Any) -> np.ndarray:
+        return state["table"]
+
+    def outputs_equal(self, a: Any, b: Any) -> bool:
+        return bool(np.allclose(a, b, atol=1e-9, equal_nan=True))
+
+    # ---------------------------------------------------- characterization
+    def access_profile(self, data: AppData) -> AccessProfile:
+        schema = self.spec.schema
+        fields = [schema.field(f) for f in self.spec.read_fields]
+        read_bytes = float(sum(f.nbytes for f in fields))
+        elem = max(f.nbytes for f in fields)
+        # contiguous span the mapper touches (for pattern-driven gathering)
+        lo = min(f.offset for f in fields)
+        hi = max(f.offset + f.nbytes for f in fields)
+        span = float(hi - lo)
+        contiguous = abs(span - read_bytes) < 1e-9
+        return AccessProfile(
+            record_bytes=schema.record_size,
+            read_bytes_per_record=read_bytes,
+            write_bytes_per_record=0.0,
+            reads_per_record=len(fields),
+            writes_per_record=0.0,
+            elem_bytes=elem,
+            gpu_ops_per_record=self.spec.map_ops_per_record,
+            cpu_ops_per_record=2.0 * self.spec.map_ops_per_record,
+            resident_bytes_per_record=16.0,  # one table RMW per record
+            pattern_friendly=True,
+            sliceable=True,
+            gather_granularity_bytes=span if contiguous else float(elem),
+            addresses_per_record=1.0 if contiguous else float(len(fields)),
+            gpu_divergence=self.spec.gpu_divergence,
+        )
+
+    def chunk_read_offsets(self, data: AppData, lo: int, hi: int) -> np.ndarray:
+        schema = self.spec.schema
+        base = np.arange(lo, hi, dtype=np.int64) * schema.record_size
+        offs = np.array(
+            sorted(schema.field(f).offset for f in self.spec.read_fields),
+            dtype=np.int64,
+        )
+        return (base[:, None] + offs[None, :]).reshape(-1)
+
+
+# ---------------------------------------------------------------------------
+# A ready-made job: clickstream URL hit counting
+# ---------------------------------------------------------------------------
+
+CLICK = RecordSchema.packed(
+    [
+        ("url", "i4"),
+        ("user", "i4"),
+        ("timestamp", "i8"),
+        ("referrer", "i4"),
+        ("status", "i4"),
+        ("latency_ms", "f4"),
+    ],
+    record_size=32,
+)
+
+N_URLS = 4096
+
+
+def _click_generator(rng: np.random.Generator, n: int) -> np.ndarray:
+    arr = np.zeros(n, dtype=CLICK.numpy_dtype())
+    ranks = np.arange(1, N_URLS + 1, dtype=np.float64)
+    probs = ranks**-1.1
+    probs /= probs.sum()
+    arr["url"] = rng.choice(N_URLS, size=n, p=probs)
+    arr["user"] = rng.integers(0, 1 << 20, n)
+    arr["timestamp"] = rng.integers(0, 1 << 40, n)
+    arr["status"] = rng.choice([200, 404, 500], size=n, p=[0.95, 0.04, 0.01])
+    arr["latency_ms"] = rng.gamma(2.0, 20.0, n).astype(np.float32)
+    return arr
+
+
+def _click_mapper(batch: np.ndarray, params: dict) -> tuple[np.ndarray, np.ndarray]:
+    return batch["url"].astype(np.int64), np.ones(batch.shape[0])
+
+
+def make_clickstream_job(reducer: str = "count") -> MapReduceApp:
+    """URL hit counting over a zipf-distributed clickstream.
+
+    The mapper reads only the 4-byte url field of each 32-byte record
+    (12.5%), so BigKernel's volume reduction shines.
+    """
+    spec = MapReduceSpec(
+        name="clickstream",
+        schema=CLICK,
+        read_fields=("url",),
+        mapper=_click_mapper,
+        reducer=reducer,
+        n_keys=N_URLS,
+        generator=_click_generator,
+        map_ops_per_record=30.0,
+        gpu_divergence=4.0,
+    )
+    return MapReduceApp(spec)

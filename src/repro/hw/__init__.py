@@ -1,0 +1,58 @@
+"""Hardware cost models for the simulated heterogeneous substrate.
+
+The paper's testbed was a GTX 680 + Xeon E5 + PCIe Gen3 x16 machine. This
+package models those parts analytically — each model converts *counted work*
+(bytes moved, memory transactions, arithmetic ops) into simulated durations —
+and exposes them as resources on the discrete-event timeline so that
+concurrency (double-buffering overlap, the 4-stage pipeline) emerges from
+simulation rather than being asserted.
+"""
+
+from repro.hw.spec import (
+    GpuSpec,
+    CpuSpec,
+    PcieSpec,
+    HardwareSpec,
+    GTX680,
+    XEON_E5,
+    PCIE_GEN3_X16,
+    DEFAULT_HARDWARE,
+)
+from repro.hw.coalescing import (
+    AccessPattern,
+    transactions_for_warp,
+    warp_transactions_analytic,
+    coalescing_efficiency,
+)
+from repro.hw.gpu import GpuDevice, KernelCost
+from repro.hw.gpu_memory import GpuMemoryAllocator, Allocation
+from repro.hw.pcie import PcieLink, DmaEngine, TransferRequest
+from repro.hw.cpu import CpuDevice
+from repro.hw.cache import CacheSim, analytic_hit_rate
+from repro.hw.pinned import PinnedAllocator
+
+__all__ = [
+    "GpuSpec",
+    "CpuSpec",
+    "PcieSpec",
+    "HardwareSpec",
+    "GTX680",
+    "XEON_E5",
+    "PCIE_GEN3_X16",
+    "DEFAULT_HARDWARE",
+    "AccessPattern",
+    "transactions_for_warp",
+    "warp_transactions_analytic",
+    "coalescing_efficiency",
+    "GpuDevice",
+    "KernelCost",
+    "GpuMemoryAllocator",
+    "Allocation",
+    "PcieLink",
+    "DmaEngine",
+    "TransferRequest",
+    "CpuDevice",
+    "CacheSim",
+    "analytic_hit_rate",
+    "PinnedAllocator",
+]

@@ -1,0 +1,129 @@
+"""GPU global-memory coalescing model.
+
+When a warp's 32 lanes issue a load together, the memory system fetches
+whole aligned *transaction segments* (32 B on the modelled part). If lanes
+touch adjacent addresses, few segments cover all of them (coalesced); if
+each lane touches a far-apart record, each lane drags in its own segment and
+effective bandwidth collapses. This module provides both an exact counter
+over concrete address vectors (used by tests and by the trace-driven
+validation) and the closed-form strided model the cost estimators use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def transactions_for_warp(
+    addresses: np.ndarray,
+    elem_bytes: int,
+    transaction_bytes: int = 32,
+) -> int:
+    """Exact count of segments touched by one warp-wide access.
+
+    ``addresses`` holds the byte address each active lane reads;
+    each lane touches ``[addr, addr + elem_bytes)``.
+    """
+    if elem_bytes < 1:
+        raise ValueError(f"elem_bytes must be >= 1, got {elem_bytes}")
+    if transaction_bytes < 1:
+        raise ValueError(f"transaction_bytes must be >= 1, got {transaction_bytes}")
+    addrs = np.asarray(addresses, dtype=np.int64)
+    if addrs.size == 0:
+        return 0
+    segments: set[int] = set()
+    first = addrs // transaction_bytes
+    last = (addrs + elem_bytes - 1) // transaction_bytes
+    for f, l in zip(first.tolist(), last.tolist()):
+        segments.update(range(f, l + 1))
+    return len(segments)
+
+
+def warp_transactions_analytic(
+    stride_bytes: int,
+    elem_bytes: int,
+    warp_size: int = 32,
+    transaction_bytes: int = 32,
+) -> int:
+    """Segments per warp access when lane *i* reads ``base + i*stride``.
+
+    Closed form for the common case; equals :func:`transactions_for_warp`
+    on the corresponding concrete addresses (property-tested).
+    """
+    addrs = np.arange(warp_size, dtype=np.int64) * int(stride_bytes)
+    return transactions_for_warp(addrs, elem_bytes, transaction_bytes)
+
+
+def coalescing_efficiency(
+    stride_bytes: int,
+    elem_bytes: int,
+    warp_size: int = 32,
+    transaction_bytes: int = 32,
+) -> float:
+    """Useful-byte fraction of the DRAM traffic a strided warp access causes.
+
+    1.0 means perfectly coalesced (every fetched byte is consumed);
+    ``elem/transaction`` is the floor reached when every lane lives in its
+    own segment.
+    """
+    useful = warp_size * elem_bytes
+    segs = warp_transactions_analytic(stride_bytes, elem_bytes, warp_size, transaction_bytes)
+    fetched = segs * transaction_bytes
+    return min(1.0, useful / fetched)
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """How consecutive GPU threads hit a mapped structure in its *original*
+    layout.
+
+    ``record_bytes`` is the distance between the records consecutive threads
+    process; ``elem_bytes`` the granularity of a single access. Big records
+    (or per-thread contiguous slabs) make ``record_bytes`` large and the
+    original layout badly coalesced — exactly the situation BigKernel's
+    assembly-stage re-layout fixes (it interleaves data so consecutive
+    threads read consecutive ``elem_bytes`` slots, stride == elem).
+    """
+
+    elem_bytes: int
+    record_bytes: int
+    #: fraction of the kernel's global-memory traffic that goes to the
+    #: mapped structure (the rest already lives GPU-side and is assumed
+    #: reasonably coalesced)
+    mapped_fraction: float = 1.0
+
+    def original_efficiency(self, warp_size: int = 32, transaction_bytes: int = 32) -> float:
+        """Coalescing efficiency of the untransformed layout."""
+        return coalescing_efficiency(
+            self.record_bytes, self.elem_bytes, warp_size, transaction_bytes
+        )
+
+    def bigkernel_efficiency(self, warp_size: int = 32, transaction_bytes: int = 32) -> float:
+        """Efficiency after the assembly stage interleaves per-thread data.
+
+        The prefetch buffer stores, at time step *t*, the t-th element of
+        every thread adjacently (Section III, data assembly), so lane stride
+        equals the element size.
+        """
+        return coalescing_efficiency(
+            self.elem_bytes, self.elem_bytes, warp_size, transaction_bytes
+        )
+
+    def kernel_efficiency(
+        self,
+        coalesced_layout: bool,
+        warp_size: int = 32,
+        transaction_bytes: int = 32,
+    ) -> float:
+        """Blended efficiency over mapped + resident traffic."""
+        mapped = (
+            self.bigkernel_efficiency(warp_size, transaction_bytes)
+            if coalesced_layout
+            else self.original_efficiency(warp_size, transaction_bytes)
+        )
+        resident = 1.0
+        f = self.mapped_fraction
+        # Harmonic blend: total bytes fetched = useful/(efficiency), summed.
+        return 1.0 / (f / mapped + (1.0 - f) / resident)

@@ -1,0 +1,27 @@
+"""Host DRAM helper formulas shared by the CPU cost model and tests."""
+
+from __future__ import annotations
+
+from repro.errors import HardwareError
+
+
+def random_access_bandwidth(cache_line: int, miss_latency: float) -> float:
+    """Achieved bytes/s when every access misses and fetches one line."""
+    if cache_line <= 0 or miss_latency <= 0:
+        raise HardwareError("cache_line and miss_latency must be positive")
+    return cache_line / miss_latency
+
+
+def blended_read_bandwidth(
+    hit_rate: float, stream_bandwidth: float, miss_bandwidth: float
+) -> float:
+    """Effective bandwidth of a read stream with the given hit rate.
+
+    Time-weighted harmonic blend: each byte costs ``hit/bw_s + miss/bw_m``.
+    """
+    if not 0.0 <= hit_rate <= 1.0:
+        raise HardwareError(f"hit_rate must be in [0,1], got {hit_rate}")
+    if stream_bandwidth <= 0 or miss_bandwidth <= 0:
+        raise HardwareError("bandwidths must be positive")
+    per_byte = hit_rate / stream_bandwidth + (1.0 - hit_rate) / miss_bandwidth
+    return 1.0 / per_byte

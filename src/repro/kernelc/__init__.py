@@ -1,0 +1,103 @@
+"""Kernel IR compiler.
+
+BigKernel's programming-model claim rests on two *straight-forward compiler
+transformations* (paper Section III): from one source kernel it derives
+
+1. the **address-generation kernel** — the original with every statement
+   removed except control flow, address arithmetic, and the memory accesses
+   themselves, the latter rewritten to record their target addresses; and
+2. the **computation kernel** — the original with mapped-memory accesses
+   rewritten to consume the prefetched data buffer in access order.
+
+This package implements those transformations on a small kernel IR, plus an
+interpreter that can run a kernel in any of the three forms against
+NumPy-backed data. Tests assert the paper's key soundness property: the
+address stream emitted by (1) gathers exactly the bytes that make (2)
+produce the same output as the original kernel.
+"""
+
+from repro.kernelc.ir import (
+    # expressions
+    Const,
+    DataBufLoad,
+    Var,
+    Param,
+    BinOp,
+    UnOp,
+    Call,
+    Load,
+    Store,
+    MappedRef,
+    ResidentLoad,
+    ResidentStore,
+    AtomicAdd,
+    # statements
+    Assign,
+    For,
+    While,
+    If,
+    Break,
+    ExprStmt,
+    EmitAddress,
+    WriteBufStore,
+    # containers
+    Kernel,
+    RecordSchema,
+    FieldSpec,
+)
+from repro.kernelc.analysis import (
+    mapped_accesses,
+    require_sliceable,
+    address_slice_vars,
+    has_data_dependent_addressing,
+)
+from repro.kernelc.slicing import make_addrgen_kernel
+from repro.kernelc.transform import make_databuf_kernel
+from repro.kernelc.codegen import (
+    KernelInterpreter,
+    InterpStats,
+    ExecutionContext,
+    AddressRecord,
+)
+from repro.kernelc.printer import render_kernel, loc_count
+from repro.kernelc.validate import validate_kernel
+
+__all__ = [
+    "Const",
+    "Var",
+    "Param",
+    "BinOp",
+    "UnOp",
+    "Call",
+    "Load",
+    "Store",
+    "MappedRef",
+    "ResidentLoad",
+    "ResidentStore",
+    "AtomicAdd",
+    "Assign",
+    "For",
+    "While",
+    "If",
+    "Break",
+    "ExprStmt",
+    "EmitAddress",
+    "WriteBufStore",
+    "DataBufLoad",
+    "Kernel",
+    "RecordSchema",
+    "FieldSpec",
+    "mapped_accesses",
+    "require_sliceable",
+    "InterpStats",
+    "address_slice_vars",
+    "has_data_dependent_addressing",
+    "make_addrgen_kernel",
+    "make_databuf_kernel",
+    "KernelInterpreter",
+    "ExecutionContext",
+    "AddressRecord",
+    "render_kernel",
+    "loc_count",
+    "validate_kernel",
+]

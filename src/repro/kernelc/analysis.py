@@ -1,0 +1,198 @@
+"""Dataflow analysis for the address-generation slice.
+
+The slicer must keep exactly (paper Section III): statements contributing to
+control flow around mapped accesses, statements contributing to the address
+arithmetic of mapped accesses, and the accesses themselves. This module
+computes the variable set those statements define (the *address slice*) and
+detects the case the paper's transformation cannot handle — addresses or
+control flow depending on mapped *data* — where BigKernel falls back to
+transferring everything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import SlicingError
+from repro.kernelc.ir import (
+    Assign,
+    Call,
+    Expr,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Stmt,
+    Store,
+    Var,
+    While,
+    stmt_bodies,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+
+#: variables every thread has implicitly (Fig. 3's virtual-thread context)
+BUILTIN_VARS = frozenset({"tid", "start", "end", "num_threads"})
+
+
+def expr_vars(expr: Expr) -> set[str]:
+    """Names of all :class:`Var` nodes in ``expr``."""
+    return {e.name for e in walk_exprs(expr) if isinstance(e, Var)}
+
+
+def expr_loads(expr: Expr) -> list[Load]:
+    """All mapped loads in ``expr``, in depth-first (evaluation) order."""
+    return [e for e in walk_exprs(expr) if isinstance(e, Load)]
+
+
+def mapped_accesses(kernel: Kernel) -> list[tuple[str, MappedRef]]:
+    """Every mapped access in the kernel as ("read"/"write", ref) pairs."""
+    out: list[tuple[str, MappedRef]] = []
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, Store):
+            for ld in expr_loads(stmt.ref.index) + expr_loads(stmt.value):
+                out.append(("read", ld.ref))
+            out.append(("write", stmt.ref))
+        else:
+            for expr in stmt_exprs(stmt):
+                for ld in expr_loads(expr):
+                    out.append(("read", ld.ref))
+    return out
+
+
+def _contains_mapped_access(stmt: Stmt) -> bool:
+    for s in walk_stmts([stmt]):
+        if isinstance(s, Store):
+            return True
+        for expr in stmt_exprs(s):
+            if expr_loads(expr):
+                return True
+            if any(isinstance(e, MappedRef) for e in walk_exprs(expr)):
+                return True
+    return False
+
+
+def _index_exprs(kernel: Kernel) -> list[Expr]:
+    """Index expressions of every mapped reference."""
+    out: list[Expr] = []
+    for stmt in walk_stmts(kernel.body):
+        for expr in stmt_exprs(stmt):
+            for node in walk_exprs(expr):
+                if isinstance(node, MappedRef):
+                    out.append(node.index)
+    return out
+
+
+def _assigns_needed(stmt: Stmt, needed: set[str]) -> bool:
+    """Does the subtree assign any address-relevant variable?"""
+    for s in walk_stmts([stmt]):
+        if isinstance(s, Assign) and s.var in needed:
+            return True
+        if isinstance(s, For) and s.var in needed:
+            return True
+    return False
+
+
+def _relevant_guard_exprs(kernel: Kernel, needed: set[str]) -> list[Expr]:
+    """Guard expressions controlling mapped accesses *or* assignments to
+    address-relevant variables (control dependence of the address slice)."""
+    relevant: list[Expr] = []
+
+    def visit(body: Iterable[Stmt]) -> None:
+        for stmt in body:
+            controls = _contains_mapped_access(stmt) or _assigns_needed(stmt, needed)
+            if controls:
+                if isinstance(stmt, If):
+                    relevant.append(stmt.cond)
+                elif isinstance(stmt, For):
+                    relevant.extend((stmt.start, stmt.end, stmt.step))
+                elif isinstance(stmt, While):
+                    relevant.append(stmt.cond)
+            for b in stmt_bodies(stmt):
+                visit(b)
+
+    visit(kernel.body)
+    return relevant
+
+
+def address_slice_vars(kernel: Kernel) -> set[str]:
+    """Fixpoint of variables feeding mapped addresses or their control flow.
+
+    Includes control dependence: the guard of any structure containing a
+    mapped access — or an assignment to an already-needed variable — is
+    itself address-relevant, transitively.
+    """
+    needed: set[str] = set()
+    for expr in _index_exprs(kernel):
+        needed |= expr_vars(expr)
+
+    changed = True
+    while changed:
+        changed = False
+        # control dependence
+        for guard in _relevant_guard_exprs(kernel, needed):
+            new = expr_vars(guard) - needed
+            if new:
+                needed |= new
+                changed = True
+        # data dependence over assignments and loop variables
+        for stmt in walk_stmts(kernel.body):
+            if isinstance(stmt, Assign) and stmt.var in needed:
+                new = expr_vars(stmt.value) - needed
+                if new:
+                    needed |= new
+                    changed = True
+            elif isinstance(stmt, For) and stmt.var in needed:
+                new = (
+                    expr_vars(stmt.start) | expr_vars(stmt.end) | expr_vars(stmt.step)
+                ) - needed
+                if new:
+                    needed |= new
+                    changed = True
+    return needed
+
+
+def has_data_dependent_addressing(kernel: Kernel) -> bool:
+    """True when mapped data feeds addresses or enclosing control flow.
+
+    This is the paper's unhandled case ("indirections or flow control based
+    on application data") — the caller falls back to transferring all data,
+    making the scheme equivalent to double-buffering for that structure.
+    """
+
+    def tainted(expr: Expr) -> bool:
+        # mapped loads or opaque device-function calls cannot be sliced
+        return bool(expr_loads(expr)) or any(
+            isinstance(e, Call) for e in walk_exprs(expr)
+        )
+
+    # Loads/calls directly inside address expressions.
+    for expr in _index_exprs(kernel):
+        if tainted(expr):
+            return True
+
+    needed = address_slice_vars(kernel)
+
+    # Guards controlling the slice.
+    for guard in _relevant_guard_exprs(kernel, needed):
+        if tainted(guard):
+            return True
+
+    # Loads/calls flowing into needed variables through assignments.
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, Assign) and stmt.var in needed:
+            if tainted(stmt.value):
+                return True
+    return False
+
+
+def require_sliceable(kernel: Kernel) -> None:
+    """Raise :class:`SlicingError` when the addr-gen slice cannot be built."""
+    if has_data_dependent_addressing(kernel):
+        raise SlicingError(
+            f"kernel {kernel.name!r} computes mapped addresses (or their "
+            "control flow) from mapped data; BigKernel falls back to "
+            "transferring all data for it"
+        )

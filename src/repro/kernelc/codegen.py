@@ -1,0 +1,319 @@
+"""Kernel interpreter: runs original, addrgen, and databuf kernels.
+
+One evaluator executes all three kernel forms against NumPy-backed state,
+so the transformation soundness property — *addrgen's emitted addresses,
+gathered and fed to the databuf kernel, reproduce the original kernel's
+output* — is checkable end to end on real data.
+
+Evaluation order contract (shared with the slicer): expressions evaluate
+depth-first left-to-right; ``Store`` evaluates its value before recording
+the write. ``Load`` nodes must not appear inside loop/branch guards (apps
+assign loaded values to locals first); the slicer rejects kernels that
+violate this via the data-dependence check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from repro.errors import BufferOverrun, CompilerError, IRValidationError
+from repro.kernelc.ir import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    DataBufLoad,
+    EmitAddress,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Param,
+    ResidentLoad,
+    ResidentStore,
+    Stmt,
+    UnOp,
+    Var,
+    While,
+    WriteBufStore,
+    Store,
+)
+
+
+@dataclass(frozen=True)
+class AddressRecord:
+    """One emitted mapped-access address (array-relative byte offset)."""
+
+    array: str
+    offset: int
+    nbytes: int
+    dtype: str
+    is_write: bool = False
+
+
+@dataclass
+class ExecutionContext:
+    """All state a kernel run touches.
+
+    ``mapped`` holds structured NumPy arrays (one per mapped name) whose
+    dtype comes from the :class:`RecordSchema`; ``resident`` holds plain
+    arrays or dicts; ``device_fns`` maps names to Python callables invoked
+    as ``fn(ctx, *args)``.
+    """
+
+    mapped: dict[str, np.ndarray] = field(default_factory=dict)
+    resident: dict[str, Any] = field(default_factory=dict)
+    params: dict[str, Any] = field(default_factory=dict)
+    device_fns: dict[str, Callable] = field(default_factory=dict)
+
+
+@dataclass
+class InterpStats:
+    """Work counters the cost models consume."""
+
+    n_ops: int = 0
+    n_calls: int = 0
+    n_mapped_reads: int = 0
+    n_mapped_writes: int = 0
+    n_resident_accesses: int = 0
+    mapped_read_bytes: int = 0
+    mapped_write_bytes: int = 0
+
+
+class _BreakLoop(Exception):
+    pass
+
+
+class KernelInterpreter:
+    """Evaluates one kernel for one virtual thread."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        ctx: ExecutionContext,
+        max_steps: int = 50_000_000,
+    ):
+        self.kernel = kernel
+        self.ctx = ctx
+        #: hard ceiling on executed statements — a diverging ``While`` in a
+        #: user kernel fails loudly instead of hanging the interpreter
+        self.max_steps = max_steps
+        self._steps = 0
+        self.stats = InterpStats()
+        # addrgen outputs
+        self.read_addresses: list[AddressRecord] = []
+        self.write_addresses: list[AddressRecord] = []
+        # databuf inputs/outputs
+        self.data_queue: deque = deque()
+        self.write_queue: list[tuple[AddressRecord, Any]] = []
+        #: fallback mode: data buffer holds whole per-array byte windows,
+        #: reads are offset-indexed instead of popped in order
+        self.fallback_windows: dict[str, tuple[int, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------ API
+    def run_thread(self, tid: int, start: int, end: int, **extra_vars: Any) -> None:
+        """Execute the kernel body for one thread's record range."""
+        env: dict[str, Any] = {"tid": tid, "start": start, "end": end}
+        env.update(extra_vars)
+        try:
+            self._exec_body(self.kernel.body, env)
+        except _BreakLoop:
+            raise CompilerError("break outside of a loop")
+
+    def load_data(self, values) -> None:
+        """Fill the data queue for a databuf-form run (in emission order)."""
+        self.data_queue = deque(values)
+
+    # ------------------------------------------------------------ addresses
+    def _ref_record(self, ref: MappedRef, env: dict, is_write: bool) -> AddressRecord:
+        schema = self.kernel.schema(ref.array)
+        fspec = schema.field(ref.field_name)
+        index = self._eval(ref.index, env)
+        offset = int(index) * schema.record_size + fspec.offset
+        return AddressRecord(ref.array, offset, fspec.nbytes, fspec.dtype, is_write)
+
+    # ----------------------------------------------------------- evaluation
+    def _eval(self, expr: Expr, env: dict) -> Any:
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            try:
+                return env[expr.name]
+            except KeyError:
+                raise IRValidationError(f"undefined variable {expr.name!r}")
+        if isinstance(expr, Param):
+            try:
+                return self.ctx.params[expr.name]
+            except KeyError:
+                raise IRValidationError(f"unbound parameter {expr.name!r}")
+        if isinstance(expr, BinOp):
+            lhs = self._eval(expr.lhs, env)
+            rhs = self._eval(expr.rhs, env)
+            self.stats.n_ops += 1
+            return _BINOPS[expr.op](lhs, rhs)
+        if isinstance(expr, UnOp):
+            v = self._eval(expr.operand, env)
+            self.stats.n_ops += 1
+            return _UNOPS[expr.op](v)
+        if isinstance(expr, Call):
+            args = [self._eval(a, env) for a in expr.args]
+            self.stats.n_calls += 1
+            try:
+                fn = self.ctx.device_fns[expr.fn]
+            except KeyError:
+                raise IRValidationError(f"unknown device function {expr.fn!r}")
+            return fn(self.ctx, *args)
+        if isinstance(expr, Load):
+            rec = self._ref_record(expr.ref, env, is_write=False)
+            self.stats.n_mapped_reads += 1
+            self.stats.mapped_read_bytes += rec.nbytes
+            arr = self.ctx.mapped[rec.array]
+            index = rec.offset // arr.dtype.itemsize
+            # Python scalars: kernel arithmetic is width-unbounded (the
+            # modelled GPU registers are 32/64-bit; apps apply explicit
+            # moduli), so narrow NumPy dtypes must not leak in.
+            return arr[expr.ref.field_name][index].item()
+        if isinstance(expr, DataBufLoad):
+            rec = self._ref_record(expr.original, env, is_write=False)
+            self.stats.n_mapped_reads += 1
+            self.stats.mapped_read_bytes += rec.nbytes
+            if rec.array in self.fallback_windows:
+                base, window = self.fallback_windows[rec.array]
+                lo = rec.offset - base
+                if lo < 0 or lo + rec.nbytes > window.nbytes:
+                    raise BufferOverrun(
+                        f"fallback window miss: [{lo}, {lo + rec.nbytes}) of "
+                        f"{window.nbytes}-byte window for {rec.array!r}"
+                    )
+                raw = window[lo : lo + rec.nbytes]
+                return raw.view(rec.dtype)[0].item()
+            if not self.data_queue:
+                raise BufferOverrun(
+                    "data buffer exhausted: computation consumed more values "
+                    "than the address-generation stage emitted"
+                )
+            value = self.data_queue.popleft()
+            return value.item() if isinstance(value, np.generic) else value
+        if isinstance(expr, ResidentLoad):
+            idx = self._eval(expr.index, env)
+            self.stats.n_resident_accesses += 1
+            value = self.ctx.resident[expr.array][int(idx)]
+            return value.item() if isinstance(value, np.generic) else value
+        if isinstance(expr, MappedRef):
+            raise CompilerError("bare MappedRef evaluated; wrap in Load/Store")
+        raise CompilerError(f"unhandled expression kind {type(expr).__name__}")
+
+    # ------------------------------------------------------------ execution
+    def _exec_body(self, body: tuple[Stmt, ...], env: dict) -> None:
+        for stmt in body:
+            self._exec(stmt, env)
+
+    def _exec(self, stmt: Stmt, env: dict) -> None:
+        self._steps += 1
+        if self._steps > self.max_steps:
+            raise CompilerError(
+                f"kernel {self.kernel.name!r} exceeded {self.max_steps} "
+                "interpreted statements — diverging loop?"
+            )
+        if isinstance(stmt, Assign):
+            env[stmt.var] = self._eval(stmt.value, env)
+        elif isinstance(stmt, Store):
+            value = self._eval(stmt.value, env)
+            rec = self._ref_record(stmt.ref, env, is_write=True)
+            self.stats.n_mapped_writes += 1
+            self.stats.mapped_write_bytes += rec.nbytes
+            arr = self.ctx.mapped[rec.array]
+            index = rec.offset // arr.dtype.itemsize
+            arr[stmt.ref.field_name][index] = value
+        elif isinstance(stmt, WriteBufStore):
+            value = self._eval(stmt.value, env)
+            rec = self._ref_record(stmt.original, env, is_write=True)
+            self.stats.n_mapped_writes += 1
+            self.stats.mapped_write_bytes += rec.nbytes
+            self.write_queue.append((rec, value))
+        elif isinstance(stmt, EmitAddress):
+            rec = self._ref_record(stmt.ref, env, stmt.is_write)
+            if stmt.is_write:
+                self.write_addresses.append(rec)
+            else:
+                self.read_addresses.append(rec)
+        elif isinstance(stmt, ResidentStore):
+            idx = int(self._eval(stmt.index, env))
+            value = self._eval(stmt.value, env)
+            self.stats.n_resident_accesses += 1
+            self.ctx.resident[stmt.array][idx] = value
+        elif isinstance(stmt, AtomicAdd):
+            idx = int(self._eval(stmt.index, env))
+            value = self._eval(stmt.value, env)
+            self.stats.n_resident_accesses += 1
+            self.ctx.resident[stmt.array][idx] += value
+        elif isinstance(stmt, If):
+            if self._eval(stmt.cond, env):
+                self._exec_body(stmt.then_body, env)
+            else:
+                self._exec_body(stmt.else_body, env)
+        elif isinstance(stmt, For):
+            start = int(self._eval(stmt.start, env))
+            end = int(self._eval(stmt.end, env))
+            step = int(self._eval(stmt.step, env))
+            i = start
+            try:
+                while (i < end) if step > 0 else (i > end):
+                    env[stmt.var] = i
+                    self._exec_body(stmt.body, env)
+                    # the loop variable may be advanced inside the body
+                    i = env[stmt.var] + step
+            except _BreakLoop:
+                pass
+        elif isinstance(stmt, While):
+            try:
+                while self._eval(stmt.cond, env):
+                    self._exec_body(stmt.body, env)
+            except _BreakLoop:
+                pass
+        elif isinstance(stmt, Break):
+            raise _BreakLoop()
+        elif isinstance(stmt, ExprStmt):
+            self._eval(stmt.expr, env)
+        else:  # pragma: no cover - future node kinds
+            raise CompilerError(f"unhandled statement kind {type(stmt).__name__}")
+
+
+_BINOPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "and": lambda a, b: bool(a) and bool(b),
+    "or": lambda a, b: bool(a) or bool(b),
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "min": min,
+    "max": max,
+}
+
+_UNOPS: dict[str, Callable[[Any], Any]] = {
+    "-": lambda a: -a,
+    "not": lambda a: not a,
+    "~": lambda a: ~a,
+}

@@ -1,0 +1,129 @@
+"""Pretty-printer: renders kernel IR as pseudo-CUDA source.
+
+Used for documentation/debugging and for reproducing the paper's
+footnote-1 observation that the generated BigKernel is much larger than the
+source kernel it came from (``loc_count`` of original vs. transformed).
+"""
+
+from __future__ import annotations
+
+from repro.kernelc.ir import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    DataBufLoad,
+    EmitAddress,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Param,
+    ResidentLoad,
+    ResidentStore,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+    WriteBufStore,
+)
+
+
+def render_expr(expr: Expr) -> str:
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Param):
+        return expr.name
+    if isinstance(expr, BinOp):
+        if expr.op in ("min", "max"):
+            return f"{expr.op}({render_expr(expr.lhs)}, {render_expr(expr.rhs)})"
+        return f"({render_expr(expr.lhs)} {expr.op} {render_expr(expr.rhs)})"
+    if isinstance(expr, UnOp):
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, Call):
+        return f"{expr.fn}({', '.join(render_expr(a) for a in expr.args)})"
+    if isinstance(expr, MappedRef):
+        return f"&{expr.array}[{render_expr(expr.index)}].{expr.field_name}"
+    if isinstance(expr, Load):
+        return render_expr(expr.ref)[1:]  # drop the '&'
+    if isinstance(expr, DataBufLoad):
+        return f"dataBuf[counter++][tid] /* {expr.original.array}.{expr.original.field_name} */"
+    if isinstance(expr, ResidentLoad):
+        return f"{expr.array}[{render_expr(expr.index)}]"
+    return f"<{type(expr).__name__}>"
+
+
+def _render_body(body: tuple[Stmt, ...], indent: int, out: list[str]) -> None:
+    pad = "    " * indent
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            out.append(f"{pad}{stmt.var} = {render_expr(stmt.value)};")
+        elif isinstance(stmt, Store):
+            out.append(f"{pad}{render_expr(stmt.ref)[1:]} = {render_expr(stmt.value)};")
+        elif isinstance(stmt, WriteBufStore):
+            out.append(
+                f"{pad}writeBuf[wcounter++][tid] = {render_expr(stmt.value)};"
+                f" /* -> {stmt.original.array}.{stmt.original.field_name} */"
+            )
+        elif isinstance(stmt, EmitAddress):
+            buf = "writeAddrBuf" if stmt.is_write else "addrBuf"
+            out.append(f"{pad}{buf}[counter++][tid] = {render_expr(stmt.ref)};")
+        elif isinstance(stmt, ResidentStore):
+            out.append(
+                f"{pad}{stmt.array}[{render_expr(stmt.index)}] = "
+                f"{render_expr(stmt.value)};"
+            )
+        elif isinstance(stmt, AtomicAdd):
+            out.append(
+                f"{pad}atomicAdd(&{stmt.array}[{render_expr(stmt.index)}], "
+                f"{render_expr(stmt.value)});"
+            )
+        elif isinstance(stmt, If):
+            out.append(f"{pad}if ({render_expr(stmt.cond)}) {{")
+            _render_body(stmt.then_body, indent + 1, out)
+            if stmt.else_body:
+                out.append(f"{pad}}} else {{")
+                _render_body(stmt.else_body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, For):
+            out.append(
+                f"{pad}for ({stmt.var} = {render_expr(stmt.start)}; "
+                f"{stmt.var} < {render_expr(stmt.end)}; "
+                f"{stmt.var} += {render_expr(stmt.step)}) {{"
+            )
+            _render_body(stmt.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, While):
+            out.append(f"{pad}while ({render_expr(stmt.cond)}) {{")
+            _render_body(stmt.body, indent + 1, out)
+            out.append(f"{pad}}}")
+        elif isinstance(stmt, Break):
+            out.append(f"{pad}break;")
+        elif isinstance(stmt, ExprStmt):
+            out.append(f"{pad}{render_expr(stmt.expr)};")
+        else:  # pragma: no cover
+            out.append(f"{pad}<{type(stmt).__name__}>;")
+
+
+def render_kernel(kernel: Kernel) -> str:
+    """Render the whole kernel as pseudo-CUDA text."""
+    lines = [
+        f"// form: {kernel.form}",
+        f"__global__ void {kernel.name}({', '.join(kernel.params)}) {{",
+    ]
+    _render_body(kernel.body, 1, lines)
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def loc_count(kernel: Kernel) -> int:
+    """Non-empty source-line count of the rendered kernel."""
+    return sum(1 for line in render_kernel(kernel).splitlines() if line.strip())

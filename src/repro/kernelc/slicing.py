@@ -1,0 +1,107 @@
+"""The address-generation transformation (paper Section III, stage 1).
+
+``make_addrgen_kernel`` rebuilds the kernel keeping only control flow and
+address arithmetic; every mapped access becomes an :class:`EmitAddress` that
+records, instead of performs, the access. Reads and writes are emitted to
+separate streams (they feed separate buffer sets in the runtime).
+
+Emission order is defined to match the interpreter's evaluation order
+(depth-first, left-to-right within a statement; value before target for
+stores), so that the computation kernel — which consumes the prefetch
+buffer *in emission order* — sees each value exactly where it expects it.
+This correspondence is property-tested in ``tests/test_kernelc_roundtrip``
+and, over randomly generated programs, in ``tests/test_kernelc_random``.
+
+Semantic precondition (inherent to the paper's scheme, Section III): the
+kernel must not *read* a mapped location it previously *wrote* within the
+same launch. Prefetched values are gathered from the pre-launch state and
+writes land asynchronously through the write-back stages, so a
+read-after-write to mapped data would observe stale bytes. This is the
+streaming assumption — each record is operated on independently — and the
+paper notes repeated access to the same item is rare in its target class
+(it would also mean redundant transfers). The transformation does not try
+to detect the hazard; it is part of the programming contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import SlicingError
+from repro.kernelc.analysis import (
+    address_slice_vars,
+    expr_loads,
+    require_sliceable,
+)
+from repro.kernelc.ir import (
+    Assign,
+    AtomicAdd,
+    Break,
+    EmitAddress,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Kernel,
+    ResidentStore,
+    Stmt,
+    Store,
+    While,
+)
+
+
+def _emits_for(expr: Expr) -> list[EmitAddress]:
+    """EmitAddress statements for every mapped load in ``expr``, in order."""
+    return [EmitAddress(ld.ref, is_write=False) for ld in expr_loads(expr)]
+
+
+def make_addrgen_kernel(kernel: Kernel) -> Kernel:
+    """Derive the address-generation kernel, or raise :class:`SlicingError`.
+
+    The caller is expected to catch the error and fall back to full-data
+    transfer, mirroring the paper's compiler default.
+    """
+    if kernel.form != "original":
+        raise SlicingError(f"can only slice an original kernel, got {kernel.form!r}")
+    require_sliceable(kernel)
+    needed = address_slice_vars(kernel)
+
+    def slice_body(body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+        out: list[Stmt] = []
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                if stmt.var in needed:
+                    # Address arithmetic: kept verbatim. require_sliceable
+                    # guarantees no loads hide inside.
+                    out.append(stmt)
+                else:
+                    # Dropped computation; its loads still cost addresses.
+                    out.extend(_emits_for(stmt.value))
+            elif isinstance(stmt, Store):
+                out.extend(_emits_for(stmt.value))
+                out.append(EmitAddress(stmt.ref, is_write=True))
+            elif isinstance(stmt, (ResidentStore, AtomicAdd)):
+                out.extend(_emits_for(stmt.index))
+                out.extend(_emits_for(stmt.value))
+            elif isinstance(stmt, ExprStmt):
+                out.extend(_emits_for(stmt.expr))
+            elif isinstance(stmt, If):
+                then_s = slice_body(stmt.then_body)
+                else_s = slice_body(stmt.else_body)
+                if then_s or else_s:
+                    out.append(If(stmt.cond, then_s, else_s))
+            elif isinstance(stmt, For):
+                inner = slice_body(stmt.body)
+                if inner:
+                    out.append(For(stmt.var, stmt.start, stmt.end, inner, stmt.step))
+            elif isinstance(stmt, While):
+                inner = slice_body(stmt.body)
+                if inner:
+                    out.append(While(stmt.cond, inner))
+            elif isinstance(stmt, Break):
+                out.append(stmt)
+            else:  # pragma: no cover - future node kinds
+                raise SlicingError(f"unhandled statement kind {type(stmt).__name__}")
+        return tuple(out)
+
+    return replace(kernel, body=slice_body(kernel.body), form="addrgen")

@@ -1,0 +1,122 @@
+"""The computation-kernel transformation (paper Section III, stage 4).
+
+``make_databuf_kernel`` rewrites every mapped access to use the prefetched
+data buffer: reads become :class:`DataBufLoad` (the ``dataBuf[counter++]``
+idiom) and writes become :class:`WriteBufStore` into the GPU-side write
+buffer. The rest of the kernel — including all resident-array work and
+device-function calls — is untouched.
+
+The same transformation serves the *fallback* path (unsliceable kernels,
+where all data is transferred): only the interpreter's buffer semantics
+differ (offset-indexed window instead of pop-in-order queue).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.errors import CompilerError
+from repro.kernelc.ir import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    DataBufLoad,
+    Expr,
+    ExprStmt,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Param,
+    ResidentLoad,
+    ResidentStore,
+    Stmt,
+    Store,
+    UnOp,
+    Var,
+    While,
+    WriteBufStore,
+)
+
+
+def _rewrite_expr(expr: Expr) -> Expr:
+    if isinstance(expr, Load):
+        ref = expr.ref
+        new_index = _rewrite_expr(ref.index)
+        return DataBufLoad(MappedRef(ref.array, new_index, ref.field_name))
+    if isinstance(expr, (Const, Var, Param, DataBufLoad)):
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _rewrite_expr(expr.lhs), _rewrite_expr(expr.rhs))
+    if isinstance(expr, UnOp):
+        return UnOp(expr.op, _rewrite_expr(expr.operand))
+    if isinstance(expr, Call):
+        return Call(expr.fn, tuple(_rewrite_expr(a) for a in expr.args))
+    if isinstance(expr, ResidentLoad):
+        return ResidentLoad(expr.array, _rewrite_expr(expr.index))
+    if isinstance(expr, MappedRef):
+        # A bare MappedRef outside Load/Store would be an address leak.
+        raise CompilerError("bare MappedRef outside Load/Store cannot be rewritten")
+    raise CompilerError(f"unhandled expression kind {type(expr).__name__}")
+
+
+def _rewrite_body(body: tuple[Stmt, ...]) -> tuple[Stmt, ...]:
+    out: list[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            out.append(Assign(stmt.var, _rewrite_expr(stmt.value)))
+        elif isinstance(stmt, Store):
+            ref = stmt.ref
+            new_ref = MappedRef(ref.array, _rewrite_expr(ref.index), ref.field_name)
+            out.append(WriteBufStore(new_ref, _rewrite_expr(stmt.value)))
+        elif isinstance(stmt, ResidentStore):
+            out.append(
+                ResidentStore(
+                    stmt.array, _rewrite_expr(stmt.index), _rewrite_expr(stmt.value)
+                )
+            )
+        elif isinstance(stmt, AtomicAdd):
+            out.append(
+                AtomicAdd(
+                    stmt.array, _rewrite_expr(stmt.index), _rewrite_expr(stmt.value)
+                )
+            )
+        elif isinstance(stmt, If):
+            out.append(
+                If(
+                    _rewrite_expr(stmt.cond),
+                    _rewrite_body(stmt.then_body),
+                    _rewrite_body(stmt.else_body),
+                )
+            )
+        elif isinstance(stmt, For):
+            out.append(
+                For(
+                    stmt.var,
+                    _rewrite_expr(stmt.start),
+                    _rewrite_expr(stmt.end),
+                    _rewrite_body(stmt.body),
+                    _rewrite_expr(stmt.step),
+                )
+            )
+        elif isinstance(stmt, While):
+            out.append(While(_rewrite_expr(stmt.cond), _rewrite_body(stmt.body)))
+        elif isinstance(stmt, (Break, ExprStmt)):
+            if isinstance(stmt, ExprStmt):
+                out.append(ExprStmt(_rewrite_expr(stmt.expr)))
+            else:
+                out.append(stmt)
+        else:  # pragma: no cover - future node kinds
+            raise CompilerError(f"unhandled statement kind {type(stmt).__name__}")
+    return tuple(out)
+
+
+def make_databuf_kernel(kernel: Kernel) -> Kernel:
+    """Derive the computation kernel consuming the prefetch data buffer."""
+    if kernel.form != "original":
+        raise CompilerError(f"can only transform an original kernel, got {kernel.form!r}")
+    return replace(kernel, body=_rewrite_body(kernel.body), form="databuf")

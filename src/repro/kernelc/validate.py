@@ -1,0 +1,110 @@
+"""Structural validation of kernel IR.
+
+Run before transformation so malformed kernels fail with a pointed message
+rather than a mid-interpretation surprise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRValidationError
+from repro.kernelc.analysis import BUILTIN_VARS, expr_loads
+from repro.kernelc.ir import (
+    Assign,
+    Call,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    ResidentLoad,
+    ResidentStore,
+    AtomicAdd,
+    Stmt,
+    Store,
+    While,
+    stmt_bodies,
+    stmt_exprs,
+    walk_exprs,
+    walk_stmts,
+)
+
+
+def validate_kernel(kernel: Kernel) -> None:
+    """Raise :class:`IRValidationError` on structural problems.
+
+    Checks: mapped/resident/param/device-function references resolve;
+    mapped refs use declared fields; loads do not appear inside guard
+    expressions (the evaluation-order contract of the slicer); variables
+    are defined before use along a conservative straight-line scan.
+    """
+    _check_references(kernel)
+    _check_guard_loads(kernel)
+    _check_def_before_use(kernel)
+
+
+def _check_references(kernel: Kernel) -> None:
+    for stmt in walk_stmts(kernel.body):
+        for expr in stmt_exprs(stmt):
+            for node in walk_exprs(expr):
+                if isinstance(node, MappedRef):
+                    schema = kernel.mapped.get(node.array)
+                    if schema is None:
+                        raise IRValidationError(
+                            f"mapped array {node.array!r} not declared in "
+                            f"kernel {kernel.name!r}"
+                        )
+                    schema.field(node.field_name)  # raises on unknown field
+                elif isinstance(node, ResidentLoad):
+                    if node.array not in kernel.resident:
+                        raise IRValidationError(
+                            f"resident array {node.array!r} not declared"
+                        )
+                elif isinstance(node, Call):
+                    if node.fn not in kernel.device_functions:
+                        raise IRValidationError(
+                            f"device function {node.fn!r} not declared"
+                        )
+        if isinstance(stmt, (ResidentStore, AtomicAdd)):
+            if stmt.array not in kernel.resident:
+                raise IRValidationError(f"resident array {stmt.array!r} not declared")
+
+
+def _check_guard_loads(kernel: Kernel) -> None:
+    for stmt in walk_stmts(kernel.body):
+        guards = []
+        if isinstance(stmt, If):
+            guards.append(stmt.cond)
+        elif isinstance(stmt, While):
+            guards.append(stmt.cond)
+        elif isinstance(stmt, For):
+            guards.extend((stmt.start, stmt.end, stmt.step))
+        for g in guards:
+            if expr_loads(g):
+                raise IRValidationError(
+                    f"kernel {kernel.name!r} has a mapped Load inside a guard "
+                    "expression; assign the loaded value to a local first"
+                )
+
+
+def _collect_defined(body, defined: set[str]) -> None:
+    """Conservative: a variable assigned anywhere in the body is 'defined'."""
+    for stmt in walk_stmts(body):
+        if isinstance(stmt, Assign):
+            defined.add(stmt.var)
+        elif isinstance(stmt, For):
+            defined.add(stmt.var)
+
+
+def _check_def_before_use(kernel: Kernel) -> None:
+    defined: set[str] = set(BUILTIN_VARS)
+    _collect_defined(kernel.body, defined)
+    from repro.kernelc.ir import Var
+
+    for stmt in walk_stmts(kernel.body):
+        for expr in stmt_exprs(stmt):
+            for node in walk_exprs(expr):
+                if isinstance(node, Var) and node.name not in defined:
+                    raise IRValidationError(
+                        f"variable {node.name!r} used but never assigned in "
+                        f"kernel {kernel.name!r}"
+                    )

@@ -1,0 +1,163 @@
+"""Per-thread-block buffer sets and the multi-instance ring.
+
+BigKernel needs, per thread block: a pinned CPU-side address buffer, a
+pinned CPU-side prefetch buffer, a GPU-side data buffer — and, for kernels
+that write mapped data, a GPU-side write buffer plus a pinned CPU-side
+write-landing buffer. *Multiple instances* of each exist so stages can
+overlap (Section III: "At minimum, two of each are required"); the ring
+discipline prevents stage *n* from reusing an instance before its consumer
+three stages downstream is done, which the paper implements by barriering
+each chunk iteration against iteration ``n - 3``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import RuntimeConfigError, SynchronizationError
+from repro.hw.gpu_memory import GpuMemoryAllocator
+from repro.hw.pinned import PinnedAllocator
+
+
+@dataclass(frozen=True)
+class BufferConfig:
+    """Sizing for one thread block's buffer set."""
+
+    #: payload capacity of one data-buffer instance (bytes)
+    data_buf_bytes: int
+    #: capacity of one address-buffer instance (addresses)
+    addr_buf_entries: int
+    #: ring depth (instances of each buffer)
+    instances: int = 2
+    #: bytes per address entry
+    address_bytes: int = 8
+    #: write buffers only exist when the kernel writes mapped data
+    write_buf_bytes: int = 0
+
+    def __post_init__(self):
+        if self.data_buf_bytes <= 0:
+            raise RuntimeConfigError("data_buf_bytes must be positive")
+        if self.addr_buf_entries <= 0:
+            raise RuntimeConfigError("addr_buf_entries must be positive")
+        if self.instances < 2:
+            raise RuntimeConfigError(
+                "at least two instances of each buffer are required for "
+                "producer/consumer overlap (paper Section III)"
+            )
+
+    @property
+    def addr_buf_bytes(self) -> int:
+        return self.addr_buf_entries * self.address_bytes
+
+    def pinned_bytes_per_block(self) -> int:
+        """CPU-side pinned footprint of one block's buffer set."""
+        per_instance = self.addr_buf_bytes + self.data_buf_bytes + self.write_buf_bytes
+        return per_instance * self.instances
+
+    def gpu_bytes_per_block(self) -> int:
+        """GPU-side footprint of one block's buffer set."""
+        per_instance = self.data_buf_bytes + self.write_buf_bytes
+        return per_instance * self.instances
+
+
+class BufferRing:
+    """Fixed set of reusable slots with produce/consume hand-off tracking.
+
+    This is the *functional* ring (payload passing and misuse detection);
+    the *temporal* backpressure on the simulated timeline is enforced by the
+    pipeline's bounded stores and semaphores.
+    """
+
+    def __init__(self, instances: int, name: str = "ring"):
+        if instances < 2:
+            raise RuntimeConfigError("ring needs at least two instances")
+        self.name = name
+        self.instances = instances
+        self._slots: list[Optional[Any]] = [None] * instances
+        self._produced = 0
+        self._consumed = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self._produced - self._consumed
+
+    def produce(self, payload: Any) -> int:
+        """Fill the next slot; errors if the ring is full (overrun)."""
+        if self.in_flight >= self.instances:
+            raise SynchronizationError(
+                f"{self.name}: produced into a slot not yet consumed "
+                f"(in flight {self.in_flight} of {self.instances})"
+            )
+        slot = self._produced % self.instances
+        self._slots[slot] = payload
+        self._produced += 1
+        return slot
+
+    def consume(self) -> Any:
+        """Take the oldest produced payload; errors on consume-before-produce."""
+        if self._consumed >= self._produced:
+            raise SynchronizationError(f"{self.name}: consume before produce")
+        slot = self._consumed % self.instances
+        payload = self._slots[slot]
+        self._slots[slot] = None
+        self._consumed += 1
+        return payload
+
+
+@dataclass
+class BlockBuffers:
+    """All buffers of one thread block, allocated against real accounting.
+
+    Allocation goes through the pinned and GPU allocators so that
+    configurations exceeding the testbed's memory fail the way they would
+    on hardware, and so the active-block policy (Section IV-D) has real
+    numbers to work with.
+    """
+
+    block_id: int
+    config: BufferConfig
+    addr_ring: BufferRing = field(init=False)
+    data_ring: BufferRing = field(init=False)
+    write_ring: Optional[BufferRing] = field(init=False)
+
+    def __post_init__(self):
+        self.addr_ring = BufferRing(self.config.instances, f"addr[{self.block_id}]")
+        self.data_ring = BufferRing(self.config.instances, f"data[{self.block_id}]")
+        self.write_ring = (
+            BufferRing(self.config.instances, f"write[{self.block_id}]")
+            if self.config.write_buf_bytes
+            else None
+        )
+        self._pinned_handles: list = []
+        self._gpu_handles: list = []
+
+    def allocate(self, pinned: PinnedAllocator, gpu: GpuMemoryAllocator) -> None:
+        """Reserve the pinned and GPU memory this block's set needs."""
+        c = self.config
+        for i in range(c.instances):
+            self._pinned_handles.append(
+                pinned.alloc(c.addr_buf_bytes, f"addrBuf[{self.block_id}][{i}]")
+            )
+            self._pinned_handles.append(
+                pinned.alloc(c.data_buf_bytes, f"prefetchBuf[{self.block_id}][{i}]")
+            )
+            self._gpu_handles.append(
+                gpu.alloc(c.data_buf_bytes, f"dataBuf[{self.block_id}][{i}]")
+            )
+            if c.write_buf_bytes:
+                self._pinned_handles.append(
+                    pinned.alloc(c.write_buf_bytes, f"writeLanding[{self.block_id}][{i}]")
+                )
+                self._gpu_handles.append(
+                    gpu.alloc(c.write_buf_bytes, f"writeBuf[{self.block_id}][{i}]")
+                )
+
+    def release(self, pinned: PinnedAllocator, gpu: GpuMemoryAllocator) -> None:
+        """Return everything (used when inactive blocks recycle buffers)."""
+        for h in self._pinned_handles:
+            pinned.free(h)
+        for h in self._gpu_handles:
+            gpu.free(h)
+        self._pinned_handles.clear()
+        self._gpu_handles.clear()

@@ -1,0 +1,376 @@
+"""Core discrete-event machinery: environment, events, processes.
+
+The design follows SimPy's architecture (events with callback lists, a heap
+of scheduled events, generator-based processes) but is intentionally small:
+only the features the BigKernel pipeline model needs are implemented, and
+each of those features is tested directly.
+
+Determinism: ties in time are broken first by event *priority* (``URGENT``
+before ``NORMAL``) and then by schedule order, so repeated runs of the same
+model produce identical timelines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import Deadlock, Interrupt, SimulationError
+
+#: Sentinel for "event has not yet been given a value".
+PENDING = object()
+
+#: Priority for events that must fire before same-time normal events
+#: (used internally for process resumption after an interrupt).
+URGENT = 0
+#: Default event priority.
+NORMAL = 1
+
+
+class Event:
+    """An outcome that will happen at some point in simulated time.
+
+    Events start *pending*; they become *triggered* once given a value (via
+    :meth:`succeed` or :meth:`fail`) and scheduled, and *processed* once the
+    environment has run their callbacks.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        #: set True once a failure value has been retrieved or handled,
+        #: suppressing the "unhandled failure" error at run() end.
+        self._defused: bool = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run (the event is in the past)."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only meaningful once triggered."""
+        if not self.triggered:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or failure exception) once triggered."""
+        if self._value is PENDING:
+            raise SimulationError(f"{self!r} has no value yet")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiters will have it raised."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another (callback helper)."""
+        if event._ok:
+            self.succeed(event._value)
+        else:
+            self.fail(event._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self.processed else "triggered" if self.triggered else "pending"
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+
+class Initialize(Event):
+    """Internal event used to start a new process on the next step."""
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=URGENT)
+
+
+class Process(Event):
+    """A running simulated activity, driven by a generator.
+
+    The process *is* an event: it triggers with the generator's return value
+    when the generator finishes, so other processes can ``yield proc`` to
+    join on it.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "throw"):
+            raise SimulationError(
+                f"process() requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = Initialize(env, self)
+        self.name = getattr(generator, "__name__", "process")
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`~repro.errors.Interrupt` into the process.
+
+        The process is rescheduled immediately (URGENT) with the interrupt;
+        whatever event it was waiting on is abandoned.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"{self!r} has already terminated")
+        if self._target is None or isinstance(self._target, Initialize):
+            raise SimulationError("cannot interrupt a process before it starts")
+        wake = Event(self.env)
+        wake._ok = False
+        wake._value = Interrupt(cause)
+        wake._defused = True
+        wake.callbacks.append(self._resume)
+        self.env.schedule(wake, priority=URGENT)
+        # Detach from the event we were waiting on.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        self._target = wake
+
+    # -- engine internals ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with ``event``'s outcome."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as exc:
+                self._target = None
+                self.env._active_process = None
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:
+                self._target = None
+                self.env._active_process = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                self.env._active_process = None
+                exc = SimulationError(
+                    f"process {self.name!r} yielded a non-event: {next_event!r}"
+                )
+                try:
+                    self._generator.throw(exc)
+                except BaseException as err:
+                    self._target = None
+                    self.fail(err)
+                    return
+                raise exc  # pragma: no cover - generator swallowed the error
+
+            if next_event.callbacks is not None:
+                # Still pending or scheduled: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                self.env._active_process = None
+                return
+            # Already processed: continue immediately with its value.
+            event = next_event
+
+
+class Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("all condition events must share one environment")
+        self._done = 0
+        if not self.events:
+            self.succeed({})
+            return
+        for ev in self.events:
+            if ev.callbacks is None:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {ev: ev._value for ev in self.events if ev.callbacks is None and ev._ok}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(Condition):
+    """Triggers when every constituent event has succeeded."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._done += 1
+        if self._done == len(self.events):
+            self.succeed({ev: ev._value for ev in self.events})
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one constituent event has succeeded."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed({event: event._value})
+
+
+class Environment:
+    """Owns the simulated clock and the pending event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = 0
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- factories ----------------------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Register ``generator`` as a new simulated process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: any one of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue ``event`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise Deadlock("event queue is empty")
+        self._now, _, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the queue drains, time ``until``, or event ``until``.
+
+        Returns the value of ``until`` when it is an event.
+        """
+        stop_event: Optional[Event] = None
+        stop_time = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event._value
+        elif until is not None:
+            stop_time = float(until)
+            if stop_time < self._now:
+                raise SimulationError(
+                    f"until={stop_time} is in the past (now={self._now})"
+                )
+
+        while self._queue:
+            if stop_event is not None and stop_event.callbacks is None:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            if self.peek() > stop_time:
+                self._now = stop_time
+                return None
+            self.step()
+
+        if stop_event is not None:
+            if stop_event.callbacks is None:
+                if not stop_event._ok:
+                    stop_event._defused = True
+                    raise stop_event._value
+                return stop_event._value
+            raise Deadlock(
+                "run(until=<event>) exhausted the queue before the event fired"
+            )
+        return None

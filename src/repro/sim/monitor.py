@@ -1,0 +1,31 @@
+"""Resource utilization monitoring built on the trace recorder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import TraceRecorder
+
+
+@dataclass
+class ResourceMonitor:
+    """Summarizes how busy one track was over a run."""
+
+    trace: TraceRecorder
+    track: str
+
+    @property
+    def busy(self) -> float:
+        return self.trace.busy_time(self.track)
+
+    def utilization(self, span: float | None = None) -> float:
+        """Busy fraction over ``span`` (defaults to the trace makespan)."""
+        span = self.trace.makespan() if span is None else span
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy / span)
+
+
+def utilization(trace: TraceRecorder, track: str, span: float | None = None) -> float:
+    """Convenience wrapper: busy fraction of ``track`` over the run."""
+    return ResourceMonitor(trace, track).utilization(span)

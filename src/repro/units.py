@@ -1,0 +1,57 @@
+"""Unit constants and formatting helpers.
+
+All simulation times are in **seconds** (floats) and all sizes in **bytes**
+(ints) unless a name says otherwise. Bandwidths are bytes/second.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Sizes (binary powers, as used for buffer/memory sizing)
+# ---------------------------------------------------------------------------
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+
+# Decimal powers, as used by link/memory vendors for bandwidth figures.
+KB = 1000
+MB = 1000 * KB
+GB = 1000 * MB
+
+# ---------------------------------------------------------------------------
+# Times
+# ---------------------------------------------------------------------------
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+
+def fmt_bytes(n: float) -> str:
+    """Render a byte count with a binary suffix (e.g. ``1.50 MiB``)."""
+    n = float(n)
+    for suffix, scale in (("GiB", GiB), ("MiB", MiB), ("KiB", KiB)):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f} {suffix}"
+    return f"{n:.0f} B"
+
+
+def fmt_time(seconds: float) -> str:
+    """Render a duration with an appropriate SI suffix."""
+    s = float(seconds)
+    if abs(s) >= 1.0:
+        return f"{s:.3f} s"
+    if abs(s) >= MS:
+        return f"{s / MS:.3f} ms"
+    if abs(s) >= US:
+        return f"{s / US:.3f} us"
+    return f"{s / NS:.1f} ns"
+
+
+def fmt_bandwidth(bytes_per_s: float) -> str:
+    """Render a bandwidth in GB/s (decimal, vendor convention)."""
+    return f"{bytes_per_s / GB:.2f} GB/s"
+
+
+def fmt_speedup(x: float) -> str:
+    """Render a speedup factor the way the paper's figures do (``2.6x``)."""
+    return f"{x:.2f}x"

@@ -1,0 +1,240 @@
+"""Functional tests for all seven benchmark applications."""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, APP_REGISTRY, get_app
+from repro.errors import ApplicationError
+
+DATA_BYTES = 300_000
+
+
+@pytest.fixture(scope="module")
+def datasets():
+    """One generated dataset per app, shared across this module."""
+    out = {}
+    for cls in ALL_APPS:
+        app = cls()
+        out[app.name] = (app, app.generate(n_bytes=DATA_BYTES, seed=11))
+    return out
+
+
+@pytest.mark.parametrize("name", [cls.name for cls in ALL_APPS])
+class TestEveryApp:
+    def test_generation_is_deterministic(self, name, datasets):
+        app, data = datasets[name]
+        again = app.generate(n_bytes=DATA_BYTES, seed=11)
+        np.testing.assert_array_equal(
+            data.byte_view(), again.byte_view()
+        )
+
+    def test_different_seeds_differ(self, name, datasets):
+        app, data = datasets[name]
+        other = app.generate(n_bytes=DATA_BYTES, seed=12)
+        assert not np.array_equal(data.byte_view(), other.byte_view())
+
+    def test_size_close_to_request(self, name, datasets):
+        app, data = datasets[name]
+        assert 0.5 * DATA_BYTES <= data.total_mapped_bytes <= 1.2 * DATA_BYTES
+
+    def test_chunked_equals_reference(self, name, datasets):
+        app, data = datasets[name]
+        ref = app.reference(data)
+        state = app.make_state(data)
+        bounds = app.chunk_bounds(data, max(1, app.n_units(data) // 13))
+        for p in range(app.n_passes):
+            app.start_pass(data, state, p)
+            for lo, hi in bounds:
+                app.process_chunk(data, state, lo, hi)
+        assert app.outputs_equal(ref, self_out := app.finalize(data, state))
+
+    def test_chunk_bounds_cover_range_exactly(self, name, datasets):
+        app, data = datasets[name]
+        bounds = app.chunk_bounds(data, max(1, app.n_units(data) // 7))
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == app.n_units(data)
+        for (l1, h1), (l2, h2) in zip(bounds, bounds[1:]):
+            assert h1 == l2
+            assert l1 < h1
+
+    def test_profile_fractions_sane(self, name, datasets):
+        app, data = datasets[name]
+        p = app.access_profile(data)
+        assert 0.0 < p.read_fraction <= 1.0
+        assert 0.0 <= p.write_fraction < 1.0
+        assert p.elem_bytes >= 1
+        assert p.gpu_ops_per_record > 0
+        assert p.cpu_ops_per_record > 0
+        assert p.gpu_divergence >= 1.0
+        assert p.passes == app.n_passes
+
+    def test_read_offsets_in_bounds_and_sorted_per_unit(self, name, datasets):
+        app, data = datasets[name]
+        n = min(64, app.n_units(data))
+        offs = app.chunk_read_offsets(data, 0, n)
+        assert offs.size > 0
+        assert offs.min() >= 0
+        assert offs.max() < data.total_mapped_bytes
+
+    def test_write_offsets_in_bounds(self, name, datasets):
+        app, data = datasets[name]
+        n = min(64, app.n_units(data))
+        offs = app.chunk_write_offsets(data, 0, n)
+        if offs.size:
+            assert offs.min() >= 0
+            assert offs.max() < data.total_mapped_bytes
+
+    def test_outputs_equal_reflexive(self, name, datasets):
+        app, data = datasets[name]
+        out = app.reference(data)
+        assert app.outputs_equal(out, out)
+
+    def test_kernel_ir_validates(self, name, datasets):
+        from repro.kernelc import validate_kernel
+
+        app, data = datasets[name]
+        k = app.kernel()
+        assert k is not None
+        validate_kernel(k)
+
+    def test_registered(self, name, datasets):
+        assert name in APP_REGISTRY
+        assert get_app(name).name == name
+
+
+class TestRegistry:
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ApplicationError):
+            get_app("nonexistent")
+
+    def test_all_seven_present(self):
+        assert len(ALL_APPS) == 7
+
+
+class TestKMeansSpecifics:
+    def test_assignment_is_nearest(self):
+        app = get_app("kmeans")
+        data = app.generate(n_bytes=48 * 100, seed=3)
+        cids = app.reference(data)
+        p = data.mapped["particles"]
+        c = data.resident["clusters"]
+        for i in range(0, 100, 17):
+            d = (
+                (c[:, 0] - p["x"][i]) ** 2
+                + (c[:, 1] - p["y"][i]) ** 2
+                + (c[:, 2] - p["z"][i]) ** 2
+            )
+            assert cids[i] == np.argmin(d)
+
+    def test_writes_mapped_flag(self):
+        assert get_app("kmeans").writes_mapped
+
+
+class TestWordCountSpecifics:
+    def test_counts_sum_to_word_count(self):
+        app = get_app("wordcount")
+        data = app.generate(n_bytes=50_000, seed=5)
+        counts = app.reference(data)
+        assert counts.sum() == data.meta["n_words"]
+
+    def test_known_text(self):
+        import numpy as np
+        from repro.apps.wordcount import BYTES, WordCountApp
+
+        app = WordCountApp()
+        text = np.frombuffer(b"aa bb aa cc aa bb ", dtype=np.uint8)
+        arr = np.zeros(text.size, dtype=BYTES.numpy_dtype())
+        arr["byte"] = text
+        from repro.apps.base import AppData
+
+        data = AppData(
+            app="wordcount",
+            mapped={"text": arr},
+            schemas={"text": BYTES},
+            primary="text",
+            meta={"avg_record": 3.0, "n_words": 6},
+        )
+        counts = app.reference(data)
+        assert counts.sum() == 6
+        assert sorted(counts[counts > 0].tolist()) == [1, 2, 3]
+
+
+class TestNetflixSpecifics:
+    def test_correlations_bounded(self):
+        app = get_app("netflix")
+        data = app.generate(n_bytes=200_000, seed=9)
+        corr = app.reference(data)
+        assert np.all(corr <= 1.0 + 1e-9)
+        assert np.all(corr >= -1.0 - 1e-9)
+
+    def test_correlated_generator_yields_positive_mass(self):
+        app = get_app("netflix")
+        data = app.generate(n_bytes=400_000, seed=9)
+        corr = app.reference(data)
+        # ratings share a movie-quality component -> some positive correlation
+        assert corr[corr != 0].size > 0
+
+
+class TestOpinionSpecifics:
+    def test_score_changes_with_dictionaries(self):
+        from repro.apps.opinion import OpinionFinderApp
+
+        a = OpinionFinderApp(dict_frac=0.02)
+        b = OpinionFinderApp(dict_frac=0.2)
+        out_a = a.reference(a.generate(100_000, seed=2))
+        out_b = b.reference(b.generate(100_000, seed=2))
+        assert out_a != out_b
+
+
+class TestDnaSpecifics:
+    def test_table_counts_all_fragments(self):
+        app = get_app("dna")
+        data = app.generate(200_000, seed=4)
+        out = app.reference(data)
+        assert out["table"].sum() == app.n_units(data)
+
+    def test_repeated_fragments_detected(self):
+        app = get_app("dna")
+        data = app.generate(200_000, seed=4)
+        out = app.reference(data)
+        assert out["extendable"] > 0  # shotgun overlap duplicates prefixes
+
+
+class TestMastercardSpecifics:
+    def test_plain_and_indexed_agree(self):
+        plain = get_app("mastercard")
+        idx = get_app("mastercard_indexed")
+        d1 = plain.generate(250_000, seed=6)
+        d2 = idx.generate(250_000, seed=6)
+        out1 = plain.reference(d1)
+        out2 = idx.reference(d2)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_target_merchant_not_counted(self):
+        app = get_app("mastercard")
+        data = app.generate(250_000, seed=6)
+        counts = app.reference(data)
+        assert counts[data.params["target"]] == 0
+
+    def test_counts_consistent_with_parsed_view(self):
+        app = get_app("mastercard")
+        data = app.generate(250_000, seed=6)
+        counts = app.reference(data)
+        cards = data.meta["cards"]
+        merchants = data.meta["merchants"]
+        target = data.params["target"]
+        customers = np.zeros(1 << 14, dtype=bool)
+        customers[cards[merchants == target]] = True
+        expected = np.zeros(1 << 10, dtype=np.int64)
+        mask = customers[cards] & (merchants != target)
+        np.add.at(expected, merchants[mask], 1)
+        np.testing.assert_array_equal(counts, expected)
+
+    def test_record_index_matches_text(self):
+        app = get_app("mastercard")
+        data = app.generate(100_000, seed=1)
+        text = data.mapped["transactions"]["byte"]
+        starts = data.meta["record_starts"]
+        # every record start follows a separator (or is position 0)
+        assert starts[0] == 0
+        assert np.all(text[starts[1:] - 1] == ord(";"))

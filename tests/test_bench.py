@@ -1,0 +1,192 @@
+"""Tests for the figure/table harnesses: structure, and the paper-shape
+regression assertions (who wins, what dominates)."""
+
+import pytest
+
+from repro.bench import (
+    BenchSettings,
+    fig4a,
+    fig4b,
+    fig5,
+    fig6,
+    run_matrix,
+    table1,
+    table2,
+)
+from repro.bench.paper_data import (
+    APP_ORDER,
+    COMPUTATION_DOMINANT,
+    NO_VOLUME_REDUCTION,
+    TABLE1,
+)
+from repro.bench.report import render_series, render_table
+from repro.engines import EngineConfig
+from repro.units import MiB
+
+SETTINGS = BenchSettings(
+    data_bytes=4 * MiB, config=EngineConfig(chunk_bytes=512 * 1024)
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(SETTINGS)
+
+
+class TestMatrix:
+    def test_all_cells_present(self, matrix):
+        assert len(matrix.results) == len(matrix.apps) * len(matrix.engines)
+
+    def test_speedup_accessor(self, matrix):
+        assert matrix.speedup("kmeans", "cpu_serial") == pytest.approx(1.0)
+        assert matrix.speedup("kmeans", "bigkernel") > 1.0
+
+
+class TestFig4a:
+    def test_series_structure(self, matrix):
+        fig = fig4a(matrix=matrix)
+        assert set(fig.series) == set(APP_ORDER)
+        for app in fig.series:
+            assert "bigkernel" in fig.series[app]
+
+    def test_bigkernel_wins_every_app(self, matrix):
+        """Paper: BigKernel outperforms single and double buffering across
+        all applications."""
+        fig = fig4a(matrix=matrix)
+        for app, speeds in fig.series.items():
+            assert speeds["bigkernel"] > speeds["gpu_double"], app
+            assert speeds["bigkernel"] > speeds["gpu_single"], app
+
+    def test_text_renders(self, matrix):
+        assert "Fig. 4(a)" in fig4a(matrix=matrix).text
+
+
+class TestFig4b:
+    def test_fractions_sum_to_one(self, matrix):
+        fig = fig4b(matrix=matrix)
+        for app, v in fig.series.items():
+            assert v["computation"] + v["communication"] == pytest.approx(1.0)
+
+    def test_computation_dominant_apps(self, matrix):
+        """Word Count and Opinion Finder are computation-dominant; the
+        transfer-bound apps are not (paper Section VI-A)."""
+        fig = fig4b(matrix=matrix)
+        for app in COMPUTATION_DOMINANT:
+            assert fig.series[app]["computation"] > 0.5, app
+        for app in ("kmeans", "netflix", "mastercard_indexed"):
+            assert fig.series[app]["computation"] < 0.5, app
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return fig5(SETTINGS)
+
+    def test_cumulative_monotone(self, fig):
+        for app, v in fig.series.items():
+            assert v["reduction"] >= v["overlap"] * 0.99, app
+            assert v["coalescing"] >= v["reduction"] * 0.99, app
+
+    def test_no_volume_reduction_apps(self, fig):
+        """WC and MasterCard read 100%: the reduction step adds nothing."""
+        for app in NO_VOLUME_REDUCTION:
+            v = fig.series[app]
+            assert v["reduction"] == pytest.approx(v["overlap"], rel=0.1), app
+
+    def test_reduction_matters_for_sparse_readers(self, fig):
+        for app in ("kmeans", "netflix", "mastercard_indexed"):
+            v = fig.series[app]
+            assert v["reduction"] > v["overlap"] * 1.15, app
+
+    def test_full_bigkernel_beats_single_everywhere(self, fig):
+        for app, v in fig.series.items():
+            assert v["coalescing"] > 1.0, app
+
+
+class TestFig6:
+    def test_fractions_normalized(self, matrix):
+        fig = fig6(SETTINGS, matrix=matrix)
+        for app, stages in fig.series.items():
+            assert max(stages.values()) == pytest.approx(1.0)
+            assert all(0.0 <= v <= 1.0 for v in stages.values())
+
+    def test_addr_gen_is_cheap(self, matrix):
+        """Paper: address generation takes the least time, usually <20%."""
+        fig = fig6(SETTINGS, matrix=matrix)
+        cheap = sum(
+            1 for stages in fig.series.values() if stages["addr_gen"] <= 0.65
+        )
+        assert cheap >= 6  # all but possibly the no-pattern outlier
+
+    def test_compute_dominant_for_most_apps(self, matrix):
+        """Paper Section VI-C: computation is the slowest stage for many
+        applications (the bottleneck migrated to the GPU)."""
+        fig = fig6(SETTINGS, matrix=matrix)
+        dominant = sum(
+            1
+            for stages in fig.series.values()
+            if stages["compute"] == max(stages.values())
+        )
+        # at this reduced test scale the DMA-latency floor inflates the
+        # transfer stage; the full-scale benchmark asserts >= 4
+        assert dominant >= 3
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def t1(self):
+        return table1(SETTINGS)
+
+    def test_measured_read_fractions_close_to_paper(self, t1):
+        for app, row in t1.rows.items():
+            assert row["read"] == pytest.approx(row["paper_read"], abs=0.08), app
+
+    def test_modified_only_kmeans(self, t1):
+        for app, row in t1.rows.items():
+            if app == "kmeans":
+                assert row["modified"] > 0
+            else:
+                assert row["modified"] == 0
+
+    def test_record_types_match_paper(self, t1):
+        for app, row in t1.rows.items():
+            assert row["record_type"] == TABLE1[app]["record_type"]
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def t2(self):
+        return table2(SETTINGS)
+
+    def test_indexed_is_na(self, t2):
+        assert t2.rows["mastercard_indexed"]["improvement"] is None
+
+    def test_byte_granular_apps_benefit_most(self, t2):
+        """Word Count's per-byte addresses make patterns most impactful."""
+        wc = t2.rows["wordcount"]["improvement"]
+        of = t2.rows["opinion"]["improvement"]
+        assert wc is not None and of is not None
+        assert wc > 0.2
+        assert wc > of
+
+    def test_improvements_non_negative(self, t2):
+        for app, row in t2.rows.items():
+            if row["improvement"] is not None:
+                assert row["improvement"] >= -0.05, app
+
+
+class TestReport:
+    def test_render_table_basic(self):
+        text = render_table(["a", "b"], [[1, 2.5], ["x", None]], title="T")
+        assert "T" in text and "2.50" in text and "NA" in text
+
+    def test_render_series_flat(self):
+        text = render_series({"one": 1.0, "two": 2.0}, title="S")
+        assert "S" in text and "2.00x" in text
+
+    def test_render_series_grouped(self):
+        text = render_series({"app": {"x": 1.0, "y": 0.5}})
+        assert "app / x" in text
+
+    def test_render_series_empty(self):
+        assert render_series({}, title="E") == "E"

@@ -1,0 +1,90 @@
+"""Tests for the sweep utility and the per-scheme autotuner."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.bench.sweep import DEFAULT_GRID, SweepResult, autotune, sweep
+from repro.engines import (
+    BigKernelEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+)
+from repro.errors import ReproError
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def workload():
+    app = get_app("kmeans")
+    return app, app.generate(n_bytes=4 * MiB, seed=3)
+
+
+class TestSweep:
+    def test_cartesian_product_size(self, workload):
+        app, data = workload
+        res = sweep(
+            BigKernelEngine(),
+            app,
+            data,
+            EngineConfig(),
+            {"chunk_bytes": [512 * 1024, 1 * MiB], "ring_depth": [2, 3]},
+        )
+        assert len(res.points) == 4
+        params = {tuple(sorted(p.params.items())) for p in res.points}
+        assert len(params) == 4  # all distinct
+
+    def test_best_is_minimum(self, workload):
+        app, data = workload
+        res = sweep(
+            BigKernelEngine(),
+            app,
+            data,
+            EngineConfig(),
+            {"chunk_bytes": [256 * 1024, 1 * MiB, 2 * MiB]},
+        )
+        assert res.best.sim_time == min(p.sim_time for p in res.points)
+
+    def test_series_extraction(self, workload):
+        app, data = workload
+        res = sweep(
+            GpuDoubleBufferEngine(),
+            app,
+            data,
+            EngineConfig(),
+            {"chunk_bytes": [512 * 1024, 1 * MiB]},
+        )
+        series = res.series("chunk_bytes")
+        assert set(series) == {512 * 1024, 1 * MiB}
+        assert all(v > 0 for v in series.values())
+
+    def test_empty_sweep_best_raises(self):
+        with pytest.raises(ReproError):
+            SweepResult([]).best
+
+
+class TestAutotune:
+    def test_autotuned_config_at_least_as_fast(self, workload):
+        app, data = workload
+        engine = BigKernelEngine()
+        base = EngineConfig(chunk_bytes=256 * 1024)
+        best_cfg, res = autotune(engine, app, data, base)
+        default_time = engine.run(app, data, base).sim_time
+        assert res.best.sim_time <= default_time * 1.001
+
+    def test_cpu_engine_short_circuits(self, workload):
+        app, data = workload
+        cfg, res = autotune(CpuSerialEngine(), app, data)
+        assert len(res.points) == 1
+
+    def test_best_config_reproduces_best_time(self, workload):
+        app, data = workload
+        engine = GpuDoubleBufferEngine()
+        best_cfg, res = autotune(
+            engine, app, data, grid={"chunk_bytes": [512 * 1024, 2 * MiB]}
+        )
+        rerun = engine.run(app, data, best_cfg)
+        assert rerun.sim_time == pytest.approx(res.best.sim_time)
+
+    def test_default_grid_shape(self):
+        assert "chunk_bytes" in DEFAULT_GRID and "num_blocks" in DEFAULT_GRID

@@ -1,0 +1,117 @@
+"""Trace-driven validation of the coalescing model.
+
+The engines price GPU memory traffic with *analytic* coalescing
+efficiencies (`AccessPattern`). These tests rebuild the actual warp access
+vectors from the apps' real address streams — original layout vs the
+assembly stage's interleaved layout — and count transactions exactly,
+confirming the analytic numbers the cost models use.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import get_app
+from repro.engines.gpu_common import original_access_pattern
+from repro.hw.coalescing import transactions_for_warp
+from repro.runtime.assembly import interleave_layout
+
+WARP = 32
+
+
+def warp_addresses_original(app, data, profile, step=0):
+    """Addresses the warp's 32 lanes touch simultaneously in the ORIGINAL
+    layout: lane t processes record t (record-interleaved assignment) and
+    all lanes issue their step-th access together."""
+    lanes = []
+    for t in range(WARP):
+        offs = app.chunk_read_offsets(data, t, t + 1)
+        lanes.append(int(offs[min(step, offs.size - 1)]))
+    return np.asarray(lanes, dtype=np.int64)
+
+
+def warp_addresses_bigkernel(app, data, profile, step=0):
+    """Addresses in the PREFETCH-BUFFER layout: the gather stored step k of
+    every thread adjacently, so lane t's step-k slot is at
+    (k * WARP + t) * elem."""
+    elem = profile.elem_bytes
+    return (np.arange(WARP, dtype=np.int64) + step * WARP) * elem
+
+
+@pytest.mark.parametrize("name", ["kmeans", "netflix", "opinion", "dna"])
+def test_original_layout_efficiency_matches_analytic(name):
+    app = get_app(name)
+    data = app.generate(n_bytes=300_000, seed=8)
+    profile = app.access_profile(data)
+    pattern = original_access_pattern(profile)
+
+    # measured over a few steps of the real stream
+    effs = []
+    for step in range(3):
+        addrs = warp_addresses_original(app, data, profile, step)
+        txns = transactions_for_warp(addrs, profile.elem_bytes)
+        effs.append((WARP * profile.elem_bytes) / (txns * 32))
+    measured = float(np.mean(effs))
+    analytic = pattern.original_efficiency()
+    assert measured == pytest.approx(analytic, rel=0.35), (
+        f"{name}: measured {measured:.3f} vs analytic {analytic:.3f}"
+    )
+
+
+@pytest.mark.parametrize("name", ["kmeans", "netflix", "opinion", "dna"])
+def test_bigkernel_layout_is_fully_coalesced(name):
+    """After the assembly re-layout, a warp access touches the minimum
+    possible number of segments."""
+    app = get_app(name)
+    data = app.generate(n_bytes=300_000, seed=8)
+    profile = app.access_profile(data)
+    addrs = warp_addresses_bigkernel(app, data, profile)
+    txns = transactions_for_warp(addrs, profile.elem_bytes)
+    min_txns = -(-WARP * profile.elem_bytes // 32)  # ceil(useful/32)
+    assert txns == min_txns
+
+
+@pytest.mark.parametrize("name", ["kmeans", "netflix", "opinion", "dna"])
+def test_relayout_reduces_transactions(name):
+    app = get_app(name)
+    data = app.generate(n_bytes=300_000, seed=8)
+    profile = app.access_profile(data)
+    orig = transactions_for_warp(
+        warp_addresses_original(app, data, profile), profile.elem_bytes
+    )
+    bk = transactions_for_warp(
+        warp_addresses_bigkernel(app, data, profile), profile.elem_bytes
+    )
+    assert bk <= orig
+
+
+def test_interleave_layout_realizes_the_bigkernel_geometry():
+    """The assembly stage's interleaving actually produces the adjacent
+    per-step slots the analytic model assumes."""
+    app = get_app("kmeans")
+    data = app.generate(n_bytes=48 * 256, seed=1)
+    profile = app.access_profile(data)
+    streams = [app.chunk_read_offsets(data, t, t + 4) for t in range(WARP)]
+    order = interleave_layout(streams)
+    # after gathering in this order, lane t's first value sits at slot t:
+    # slots 0..31 are step 0 of threads 0..31
+    first_step = order[:WARP]
+    expected = np.asarray([int(s[0]) for s in streams])
+    np.testing.assert_array_equal(first_step, expected)
+    # in the *prefetch buffer*, those 32 values are contiguous: one 256B
+    # span -> 8 transactions for 8B elements (the coalesced optimum)
+    buf_addrs = np.arange(WARP, dtype=np.int64) * profile.elem_bytes
+    assert transactions_for_warp(buf_addrs, profile.elem_bytes) == 8
+
+
+def test_byte_walk_original_layout_is_worst_case():
+    """Per-thread byte slabs put every lane in its own segment."""
+    app = get_app("wordcount")
+    data = app.generate(n_bytes=300_000, seed=8)
+    n = app.n_units(data)
+    per_thread = n // WARP
+    # lane t's first byte is the start of its slab
+    addrs = np.asarray([t * per_thread for t in range(WARP)], dtype=np.int64)
+    txns = transactions_for_warp(addrs, 1)
+    assert txns == WARP  # fully serialized
+    pattern = original_access_pattern(app.access_profile(data))
+    assert pattern.original_efficiency() == pytest.approx(1 / 32)

@@ -1,0 +1,220 @@
+"""Integration tests across engines: output equality, performance ordering,
+feature ablation monotonicity, metrics consistency."""
+
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.engines import (
+    BigKernelEngine,
+    BigKernelFeatures,
+    CpuMtEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+)
+from repro.errors import RuntimeConfigError
+from repro.units import MiB
+
+DATA_BYTES = 4_000_000
+CFG = EngineConfig(chunk_bytes=512 * 1024)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    """All engines over all apps once, shared by this module."""
+    engines = [
+        CpuSerialEngine(),
+        CpuMtEngine(),
+        GpuSingleBufferEngine(),
+        GpuDoubleBufferEngine(),
+        BigKernelEngine(),
+    ]
+    out = {}
+    for cls in ALL_APPS:
+        app = cls()
+        data = app.generate(n_bytes=DATA_BYTES, seed=31)
+        out[app.name] = (app, {e.name: e.run(app, data, CFG) for e in engines})
+    return out
+
+
+APPS = [cls.name for cls in ALL_APPS]
+
+
+@pytest.mark.parametrize("name", APPS)
+class TestOutputsAgree:
+    def test_all_engines_same_output(self, name, runs):
+        app, results = runs[name]
+        ref = results["cpu_serial"]
+        for engine, res in results.items():
+            assert app.outputs_equal(ref.output, res.output), engine
+
+
+@pytest.mark.parametrize("name", APPS)
+class TestPerformanceOrdering:
+    def test_mt_beats_serial(self, name, runs):
+        _, r = runs[name]
+        assert r["cpu_mt"].sim_time < r["cpu_serial"].sim_time
+
+    def test_double_beats_single(self, name, runs):
+        """Overlap never loses to serialization (same work)."""
+        _, r = runs[name]
+        assert r["gpu_double"].sim_time < r["gpu_single"].sim_time * 1.001
+
+    def test_bigkernel_beats_double(self, name, runs):
+        """The paper's headline: BigKernel outperforms double-buffering
+        across all applications."""
+        _, r = runs[name]
+        assert r["bigkernel"].sim_time < r["gpu_double"].sim_time
+
+    def test_bigkernel_beats_mt_cpu(self, name, runs):
+        _, r = runs[name]
+        assert r["bigkernel"].sim_time < r["cpu_mt"].sim_time
+
+
+@pytest.mark.parametrize("name", APPS)
+class TestMetrics:
+    def test_single_buffer_launches_once_per_chunk(self, name, runs):
+        _, r = runs[name]
+        m = r["gpu_single"].metrics
+        assert m.bytes_h2d > 0
+        assert m.kernel_launches == m.n_chunks
+
+    def test_bigkernel_single_launch(self, name, runs):
+        _, r = runs[name]
+        assert r["bigkernel"].metrics.kernel_launches == 1
+
+    def test_bigkernel_stage_totals_present(self, name, runs):
+        _, r = runs[name]
+        st = r["bigkernel"].metrics.stage_totals
+        assert "compute" in st and "data_transfer" in st
+        assert all(v >= 0 for v in st.values())
+
+    def test_comp_comm_ratio_in_range(self, name, runs):
+        _, r = runs[name]
+        assert 0.0 <= r["gpu_single"].metrics.comp_comm_ratio <= 1.0
+
+
+class TestVolumeReduction:
+    def test_kmeans_bigkernel_transfers_less(self, runs):
+        """Only the read bytes (50%) cross the link with BigKernel."""
+        _, r = runs["kmeans"]
+        assert r["bigkernel"].metrics.bytes_h2d < 0.7 * r["gpu_single"].metrics.bytes_h2d
+
+    def test_indexed_mastercard_transfers_less(self, runs):
+        _, r = runs["mastercard_indexed"]
+        assert (
+            r["bigkernel"].metrics.bytes_h2d
+            < 0.4 * r["gpu_single"].metrics.bytes_h2d
+        )
+
+    def test_wordcount_cannot_reduce(self, runs):
+        """100%-read apps move everything either way (paper Section VI-B)."""
+        _, r = runs["wordcount"]
+        assert (
+            r["bigkernel"].metrics.bytes_h2d
+            > 0.95 * r["gpu_single"].metrics.bytes_h2d
+        )
+
+
+class TestPatternDetection:
+    def test_strided_apps_find_patterns(self, runs):
+        for name in ("kmeans", "wordcount", "netflix", "dna", "mastercard"):
+            _, r = runs[name]
+            assert r["bigkernel"].metrics.pattern_fraction >= 0.5, name
+
+    def test_indexed_mastercard_has_no_pattern(self, runs):
+        """Table II's NA row: index-driven addresses are irregular."""
+        _, r = runs["mastercard_indexed"]
+        assert r["bigkernel"].metrics.pattern_fraction < 0.5
+
+    def test_disabling_recognition_never_helps(self, runs):
+        app = get_app("wordcount")
+        data = app.generate(n_bytes=DATA_BYTES, seed=31)
+        on = BigKernelEngine().run(app, data, CFG)
+        off = BigKernelEngine().run(
+            app, data, CFG.with_(pattern_recognition=False)
+        )
+        assert off.sim_time >= on.sim_time
+
+
+class TestFeatureAblation:
+    @pytest.mark.parametrize("name", ["kmeans", "netflix", "dna"])
+    def test_cumulative_features_monotone(self, name, runs):
+        """overlap-only >= +reduction >= full time (Fig. 5's cumulative bars)."""
+        app = get_app(name)
+        data = app.generate(n_bytes=DATA_BYTES, seed=31)
+        t_overlap = (
+            BigKernelEngine(BigKernelFeatures.overlap_only())
+            .run(app, data, CFG)
+            .sim_time
+        )
+        t_reduce = (
+            BigKernelEngine(BigKernelFeatures.with_reduction())
+            .run(app, data, CFG)
+            .sim_time
+        )
+        t_full = BigKernelEngine(BigKernelFeatures.full()).run(app, data, CFG).sim_time
+        assert t_reduce <= t_overlap * 1.001
+        assert t_full <= t_reduce * 1.001
+
+    def test_overlap_only_close_to_double_buffering(self, runs):
+        """Variant 1 is pipelined full-data transfer — same volume class as
+        double-buffering (the paper's Komoda et al. observation)."""
+        app = get_app("kmeans")
+        data = app.generate(n_bytes=DATA_BYTES, seed=31)
+        t_overlap = (
+            BigKernelEngine(BigKernelFeatures.overlap_only())
+            .run(app, data, CFG)
+            .sim_time
+        )
+        t_double = GpuDoubleBufferEngine().run(app, data, CFG).sim_time
+        assert t_overlap < t_double * 2.0
+        assert t_overlap > t_double * 0.3
+
+    def test_feature_labels(self):
+        assert BigKernelFeatures.overlap_only().label == "overlap-only"
+        assert BigKernelFeatures.with_reduction().label == "volume-reduction"
+        assert BigKernelFeatures.full().label == "full"
+
+
+class TestEngineConfig:
+    def test_bad_chunk_bytes(self):
+        with pytest.raises(RuntimeConfigError):
+            EngineConfig(chunk_bytes=10)
+
+    def test_bad_threads(self):
+        with pytest.raises(RuntimeConfigError):
+            EngineConfig(compute_threads=100)
+
+    def test_bad_ring_depth(self):
+        with pytest.raises(RuntimeConfigError):
+            EngineConfig(ring_depth=1)
+
+    def test_with_override(self):
+        cfg = EngineConfig().with_(num_blocks=4)
+        assert cfg.num_blocks == 4
+
+    def test_speedup_helper(self, runs):
+        _, r = runs["kmeans"]
+        s = r["bigkernel"].speedup_over(r["cpu_serial"])
+        assert s > 1.0
+
+
+class TestBigKernelInternals:
+    def test_fallback_notes_for_unsliceable_profile(self):
+        """An app whose kernel cannot be sliced transfers everything."""
+        app = get_app("wordcount")
+        data = app.generate(n_bytes=500_000, seed=1)
+        res = BigKernelEngine().run(app, data, CFG)
+        assert res.metrics.notes["sliceable"] is True  # WC is sliceable
+
+    def test_active_blocks_recorded(self, runs):
+        _, r = runs["kmeans"]
+        assert r["bigkernel"].metrics.notes["active_blocks"] >= 1
+
+    def test_writeback_stages_only_for_kmeans(self, runs):
+        _, r = runs["kmeans"]
+        assert "write_transfer" in r["bigkernel"].metrics.stage_totals
+        _, r2 = runs["netflix"]
+        assert "write_transfer" not in r2["bigkernel"].metrics.stage_totals

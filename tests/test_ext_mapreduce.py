@@ -1,0 +1,189 @@
+"""Tests for the MapReduce extension."""
+
+import numpy as np
+import pytest
+
+from repro.engines import (
+    BigKernelEngine,
+    CpuMtEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+    GpuSingleBufferEngine,
+)
+from repro.errors import ApplicationError
+from repro.ext.mapreduce import (
+    CLICK,
+    MapReduceApp,
+    MapReduceSpec,
+    N_URLS,
+    make_clickstream_job,
+)
+
+CFG = EngineConfig(chunk_bytes=512 * 1024)
+
+
+class TestClickstreamJob:
+    @pytest.fixture(scope="class")
+    def job(self):
+        app = make_clickstream_job()
+        data = app.generate(n_bytes=1_000_000, seed=5)
+        return app, data
+
+    def test_counts_sum_to_records(self, job):
+        app, data = job
+        out = app.reference(data)
+        assert out.sum() == app.n_units(data)
+
+    def test_zipf_head_is_hot(self, job):
+        app, data = job
+        out = app.reference(data)
+        assert out[0] > out[out > 0].mean() * 3
+
+    def test_chunked_equals_reference(self, job):
+        app, data = job
+        ref = app.reference(data)
+        state = app.make_state(data)
+        for lo, hi in app.chunk_bounds(data, 997):
+            app.process_chunk(data, state, lo, hi)
+        assert app.outputs_equal(ref, app.finalize(data, state))
+
+    def test_runs_on_all_engines(self, job):
+        """The future-work claim realized: a MapReduce job runs on every
+        scheme, BigKernel included, with identical results."""
+        app, data = job
+        engines = [
+            CpuSerialEngine(),
+            CpuMtEngine(),
+            GpuSingleBufferEngine(),
+            GpuDoubleBufferEngine(),
+            BigKernelEngine(),
+        ]
+        results = [e.run(app, data, CFG) for e in engines]
+        for r in results[1:]:
+            assert app.outputs_equal(results[0].output, r.output), r.engine
+        bk = results[-1]
+        # BigKernel prefetches only the url field: ~12.5% of the data
+        single = results[2]
+        assert bk.metrics.bytes_h2d < 0.25 * single.metrics.bytes_h2d
+        assert bk.sim_time < results[3].sim_time  # beats double buffering
+
+    def test_profile_matches_read_fields(self, job):
+        app, data = job
+        p = app.access_profile(data)
+        assert p.read_bytes_per_record == 4.0
+        assert p.read_fraction == pytest.approx(4 / 32)
+        assert p.addresses_per_record == 1.0  # single contiguous field
+
+    def test_read_offsets_hit_url_field_only(self, job):
+        app, data = job
+        offs = app.chunk_read_offsets(data, 0, 8)
+        assert np.array_equal(offs, np.arange(8) * 32)
+
+
+class TestReducers:
+    def _job(self, reducer, mapper=None):
+        spec = MapReduceSpec(
+            name="latency",
+            schema=CLICK,
+            read_fields=("url", "latency_ms"),
+            mapper=mapper
+            or (
+                lambda batch, params: (
+                    batch["url"].astype(np.int64),
+                    batch["latency_ms"].astype(np.float64),
+                )
+            ),
+            reducer=reducer,
+            n_keys=N_URLS,
+            generator=__import__(
+                "repro.ext.mapreduce", fromlist=["_click_generator"]
+            )._click_generator,
+        )
+        return MapReduceApp(spec)
+
+    def test_max_reducer(self):
+        app = self._job("max")
+        data = app.generate(300_000, seed=2)
+        out = app.reference(data)
+        lat = data.mapped["records"]["latency_ms"].astype(np.float64)
+        urls = data.mapped["records"]["url"]
+        url0 = int(urls[0])
+        assert out[url0] == pytest.approx(lat[urls == url0].max())
+
+    def test_min_reducer(self):
+        app = self._job("min")
+        data = app.generate(300_000, seed=2)
+        out = app.reference(data)
+        lat = data.mapped["records"]["latency_ms"].astype(np.float64)
+        urls = data.mapped["records"]["url"]
+        url0 = int(urls[0])
+        assert out[url0] == pytest.approx(lat[urls == url0].min())
+
+    def test_sum_reducer(self):
+        app = self._job("sum")
+        data = app.generate(300_000, seed=2)
+        out = app.reference(data)
+        total = data.mapped["records"]["latency_ms"].astype(np.float64).sum()
+        assert out[np.isfinite(out)].sum() == pytest.approx(total, rel=1e-9)
+
+    def test_sum_chunking_invariance(self):
+        app = self._job("sum")
+        data = app.generate(300_000, seed=9)
+        ref = app.reference(data)
+        state = app.make_state(data)
+        for lo, hi in app.chunk_bounds(data, 123):
+            app.process_chunk(data, state, lo, hi)
+        assert app.outputs_equal(ref, app.finalize(data, state))
+
+    def test_two_field_profile_span(self):
+        """url (offset 0) + latency_ms (offset 24) are non-contiguous:
+        two addresses per record, element-granular gathering."""
+        app = self._job("sum")
+        data = app.generate(100_000, seed=1)
+        p = app.access_profile(data)
+        assert p.reads_per_record == 2
+        assert p.addresses_per_record == 2.0
+
+
+class TestSpecValidation:
+    def test_unknown_reducer(self):
+        with pytest.raises(ApplicationError):
+            MapReduceSpec(
+                name="x",
+                schema=CLICK,
+                read_fields=("url",),
+                mapper=lambda b, p: (b["url"], b["url"]),
+                reducer="mean",
+                n_keys=10,
+                generator=lambda rng, n: np.zeros(n, CLICK.numpy_dtype()),
+            )
+
+    def test_unknown_field(self):
+        with pytest.raises(Exception):
+            MapReduceSpec(
+                name="x",
+                schema=CLICK,
+                read_fields=("nope",),
+                mapper=lambda b, p: (b["url"], b["url"]),
+                reducer="sum",
+                n_keys=10,
+                generator=lambda rng, n: np.zeros(n, CLICK.numpy_dtype()),
+            )
+
+    def test_out_of_range_keys_detected(self):
+        spec = MapReduceSpec(
+            name="bad",
+            schema=CLICK,
+            read_fields=("url",),
+            mapper=lambda b, p: (b["url"].astype(np.int64) + 10**6, np.ones(len(b))),
+            reducer="sum",
+            n_keys=N_URLS,
+            generator=__import__(
+                "repro.ext.mapreduce", fromlist=["_click_generator"]
+            )._click_generator,
+        )
+        app = MapReduceApp(spec)
+        data = app.generate(50_000, seed=0)
+        with pytest.raises(ApplicationError, match="keys outside"):
+            app.reference(data)

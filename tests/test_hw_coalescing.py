@@ -1,0 +1,130 @@
+"""Tests for the coalescing / memory-transaction model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.coalescing import (
+    AccessPattern,
+    coalescing_efficiency,
+    transactions_for_warp,
+    warp_transactions_analytic,
+)
+
+
+class TestTransactionsForWarp:
+    def test_fully_coalesced_floats(self):
+        # 32 lanes x 4B adjacent = 128B = 4 segments of 32B
+        addrs = np.arange(32) * 4
+        assert transactions_for_warp(addrs, 4) == 4
+
+    def test_fully_coalesced_doubles(self):
+        addrs = np.arange(32) * 8
+        assert transactions_for_warp(addrs, 8) == 8
+
+    def test_one_segment_per_lane_when_strided_far(self):
+        addrs = np.arange(32) * 4096
+        assert transactions_for_warp(addrs, 4) == 32
+
+    def test_same_address_all_lanes_is_one_segment(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        assert transactions_for_warp(addrs, 4) == 1
+
+    def test_element_spanning_two_segments(self):
+        # one 8B element starting at offset 28 crosses the 32B boundary
+        assert transactions_for_warp(np.array([28]), 8) == 2
+
+    def test_empty_warp(self):
+        assert transactions_for_warp(np.array([], dtype=np.int64), 4) == 0
+
+    def test_rejects_bad_elem_size(self):
+        with pytest.raises(ValueError):
+            transactions_for_warp(np.array([0]), 0)
+
+    @given(
+        stride=st.integers(min_value=1, max_value=512),
+        elem=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_analytic_matches_exact(self, stride, elem):
+        addrs = np.arange(32, dtype=np.int64) * stride
+        assert warp_transactions_analytic(stride, elem) == transactions_for_warp(
+            addrs, elem
+        )
+
+    @given(
+        addrs=st.lists(
+            st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=32
+        ),
+        elem=st.integers(min_value=1, max_value=32),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_transaction_count_bounds(self, addrs, elem):
+        """1 <= segments <= lanes * ceil((elem + txn - 1) / txn)."""
+        n = transactions_for_warp(np.array(addrs), elem)
+        per_lane_max = (elem + 31 - 1) // 32 + 1
+        assert 1 <= n <= len(addrs) * per_lane_max
+
+    @given(elem=st.integers(min_value=1, max_value=32))
+    @settings(max_examples=30, deadline=None)
+    def test_unit_stride_is_optimal(self, elem):
+        """Contiguous lane accesses minimize transactions over any permutation."""
+        base = np.arange(32, dtype=np.int64) * elem
+        contiguous = transactions_for_warp(base, elem)
+        rng = np.random.default_rng(elem)
+        shuffled = transactions_for_warp(rng.permutation(base), elem)
+        assert shuffled == contiguous  # same set of addresses -> same segments
+        spread = transactions_for_warp(base * 7, elem)
+        assert spread >= contiguous
+
+
+class TestCoalescingEfficiency:
+    def test_perfect_when_contiguous_4b(self):
+        assert coalescing_efficiency(4, 4) == 1.0
+
+    def test_poor_when_records_are_large(self):
+        # 48B records, 8B elements: each lane sits in its own segments
+        eff = coalescing_efficiency(48, 8)
+        assert eff < 0.5
+
+    def test_floor_is_elem_over_transaction(self):
+        eff = coalescing_efficiency(4096, 4)
+        assert eff == pytest.approx(4 / 32)
+
+    @given(
+        stride=st.integers(min_value=1, max_value=1024),
+        elem=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_efficiency_in_unit_interval(self, stride, elem):
+        eff = coalescing_efficiency(stride, elem)
+        assert 0.0 < eff <= 1.0
+
+    @given(elem=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=30, deadline=None)
+    def test_bigkernel_layout_never_worse(self, elem):
+        """Interleaved (stride == elem) layout >= any larger record stride."""
+        for record in (elem, elem * 2, elem * 8, elem * 64 + 3):
+            assert coalescing_efficiency(elem, elem) >= coalescing_efficiency(
+                record, elem
+            )
+
+
+class TestAccessPattern:
+    def test_kmeans_like_pattern_improves(self):
+        # 8B doubles inside 48B records
+        p = AccessPattern(elem_bytes=8, record_bytes=48, mapped_fraction=1.0)
+        assert p.bigkernel_efficiency() > p.original_efficiency()
+
+    def test_mapped_fraction_blends(self):
+        p_all = AccessPattern(8, 4096, mapped_fraction=1.0)
+        p_half = AccessPattern(8, 4096, mapped_fraction=0.5)
+        assert p_half.kernel_efficiency(False) > p_all.kernel_efficiency(False)
+
+    def test_coalesced_layout_flag(self):
+        p = AccessPattern(8, 48)
+        assert p.kernel_efficiency(True) > p.kernel_efficiency(False)
+
+    def test_already_coalesced_layout_has_no_headroom(self):
+        p = AccessPattern(4, 4)
+        assert p.kernel_efficiency(True) == pytest.approx(p.kernel_efficiency(False))

@@ -1,0 +1,119 @@
+"""Tests for the PCIe link / DMA engine model, including in-order delivery."""
+
+import pytest
+
+from repro.errors import HardwareError
+from repro.hw.pcie import D2H, H2D, DmaEngine, PcieLink, TransferRequest
+from repro.hw.spec import PCIE_GEN3_X16
+from repro.sim import Environment, Flag, TraceRecorder
+from repro.units import MiB
+
+
+def make_link(trace=None):
+    env = Environment()
+    return env, PcieLink(env, PCIE_GEN3_X16, trace=trace)
+
+
+class TestPcieLink:
+    def test_single_transfer_duration(self):
+        env, link = make_link()
+        done = link.transfer(TransferRequest(16 * MiB, H2D))
+        env.run()
+        assert env.now == pytest.approx(link.transfer_time(16 * MiB))
+
+    def test_same_direction_serializes(self):
+        env, link = make_link()
+        link.transfer(TransferRequest(16 * MiB, H2D))
+        link.transfer(TransferRequest(16 * MiB, H2D))
+        env.run()
+        assert env.now == pytest.approx(2 * link.transfer_time(16 * MiB))
+
+    def test_opposite_directions_overlap(self):
+        env, link = make_link()
+        link.transfer(TransferRequest(16 * MiB, H2D))
+        link.transfer(TransferRequest(16 * MiB, D2H))
+        env.run()
+        assert env.now == pytest.approx(link.transfer_time(16 * MiB))
+
+    def test_byte_accounting(self):
+        env, link = make_link()
+        link.transfer(TransferRequest(1000, H2D))
+        link.transfer(TransferRequest(500, D2H))
+        env.run()
+        assert link.bytes_moved[H2D] == 1000
+        assert link.bytes_moved[D2H] == 500
+        assert link.transfer_count == {H2D: 1, D2H: 1}
+
+    def test_pageable_slower_than_pinned(self):
+        env, link = make_link()
+        assert link.transfer_time(16 * MiB, pinned=False) > link.transfer_time(
+            16 * MiB, pinned=True
+        )
+
+    def test_trace_records_intervals(self):
+        trace = TraceRecorder()
+        env, link = make_link(trace)
+        link.transfer(TransferRequest(1 * MiB, H2D, label="chunk0"))
+        env.run()
+        ivs = trace.by_track("pcie-h2d")
+        assert len(ivs) == 1
+        assert ivs[0].label == "chunk0"
+        assert ivs[0].meta["nbytes"] == 1 * MiB
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(HardwareError):
+            TransferRequest(100, "sideways")
+
+
+class TestDmaEngineOrdering:
+    def test_flag_set_after_data_lands(self):
+        """The trailing-flag trick: flag fires only after the data DMA."""
+        env, link = make_link()
+        dma = DmaEngine(link)
+        flag = Flag(env)
+        seen = []
+
+        def consumer(env):
+            yield flag.wait()
+            seen.append(env.now)
+
+        env.process(consumer(env))
+        dma.copy_with_flag(16 * MiB, flag, H2D)
+        env.run()
+        data_t = link.transfer_time(16 * MiB)
+        assert seen and seen[0] >= data_t
+
+    def test_fifo_order_preserved(self):
+        """Three queued transfers complete in submission order."""
+        env, link = make_link()
+        dma = DmaEngine(link)
+        completions = []
+
+        def track(env, ev, tag):
+            yield ev
+            completions.append(tag)
+
+        e1 = dma.copy_async(8 * MiB, H2D, label="a")
+        e2 = dma.copy_async(1, H2D, label="b")
+        e3 = dma.copy_async(4 * MiB, H2D, label="c")
+        for ev, tag in [(e1, "a"), (e2, "b"), (e3, "c")]:
+            env.process(track(env, ev, tag))
+        env.run()
+        assert completions == ["a", "b", "c"]
+
+    def test_flag_waits_behind_earlier_queue_entries(self):
+        """A flag queued after two data DMAs waits for both (in-order)."""
+        env, link = make_link()
+        dma = DmaEngine(link)
+        flag = Flag(env)
+        dma.copy_async(16 * MiB, H2D)
+        dma.copy_with_flag(16 * MiB, flag, H2D)
+        t_flag = []
+
+        def consumer(env):
+            yield flag.wait()
+            t_flag.append(env.now)
+
+        env.process(consumer(env))
+        env.run()
+        assert t_flag[0] >= 2 * link.transfer_time(16 * MiB)

@@ -1,0 +1,222 @@
+"""Direct tests for the dataflow analysis behind the address slice."""
+
+import pytest
+
+from repro.errors import SlicingError
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Call,
+    Const,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    RecordSchema,
+    Var,
+    While,
+    address_slice_vars,
+    has_data_dependent_addressing,
+    make_addrgen_kernel,
+)
+from repro.kernelc.analysis import expr_loads, expr_vars, mapped_accesses
+
+SCHEMA = RecordSchema.packed([("v", "f8")])
+REF = lambda idx: MappedRef("arr", idx, "v")
+
+
+def kernel_of(*body):
+    return Kernel("k", tuple(body), mapped={"arr": SCHEMA}, resident=("out",))
+
+
+class TestExprHelpers:
+    def test_expr_vars(self):
+        e = BinOp("+", Var("a"), BinOp("*", Var("b"), Const(2)))
+        assert expr_vars(e) == {"a", "b"}
+
+    def test_expr_loads_in_order(self):
+        e = BinOp("+", Load(REF(Var("i"))), Load(REF(Var("j"))))
+        loads = expr_loads(e)
+        assert len(loads) == 2
+        assert loads[0].ref.index == Var("i")
+
+
+class TestSliceVars:
+    def test_loop_var_needed(self):
+        k = kernel_of(
+            For("i", Var("start"), Var("end"), (Assign("x", Load(REF(Var("i")))),))
+        )
+        needed = address_slice_vars(k)
+        assert "i" in needed and "start" in needed and "end" in needed
+        assert "x" not in needed
+
+    def test_transitive_address_arithmetic(self):
+        k = kernel_of(
+            Assign("base", BinOp("*", Var("tid"), Const(100))),
+            Assign("stride", Const(2)),
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("idx", BinOp("+", Var("base"), BinOp("*", Var("i"), Var("stride")))),
+                    Assign("x", Load(REF(Var("idx")))),
+                ),
+            ),
+        )
+        needed = address_slice_vars(k)
+        assert {"idx", "base", "stride", "i", "tid"} <= needed
+
+    def test_compute_only_vars_excluded(self):
+        k = kernel_of(
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("x", Load(REF(Var("i")))),
+                    Assign("y", BinOp("*", Var("x"), Const(2))),
+                    AtomicAdd("out", Const(0), Var("y")),
+                ),
+            )
+        )
+        needed = address_slice_vars(k)
+        assert "y" not in needed and "x" not in needed
+
+
+class TestDataDependence:
+    def test_clean_kernel_not_flagged(self):
+        k = kernel_of(
+            For("i", Var("start"), Var("end"), (Assign("x", Load(REF(Var("i")))),))
+        )
+        assert not has_data_dependent_addressing(k)
+
+    def test_load_in_index_flagged(self):
+        k = kernel_of(
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (Assign("x", Load(REF(Load(REF(Var("i")))))),),
+            )
+        )
+        assert has_data_dependent_addressing(k)
+
+    def test_load_feeding_needed_var_flagged(self):
+        k = kernel_of(
+            Assign("j", Var("start")),
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("j", Load(REF(Var("i")))),  # j feeds an address
+                    Assign("x", Load(REF(Var("j")))),
+                ),
+            ),
+        )
+        assert has_data_dependent_addressing(k)
+
+    def test_guard_load_around_mapped_access_flagged(self):
+        """A branch condition fed (via a var) by mapped data, guarding a
+        mapped access, is the paper's unhandled flow-control case."""
+        k = kernel_of(
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("c", Load(REF(Var("i")))),
+                    If(
+                        BinOp(">", Var("c"), Const(0)),
+                        # control-dependent address arithmetic
+                        (Assign("i", BinOp("+", Var("i"), Const(1))),),
+                    ),
+                    Assign("x", Load(REF(Var("i")))),
+                ),
+            )
+        )
+        assert has_data_dependent_addressing(k)
+        with pytest.raises(SlicingError):
+            make_addrgen_kernel(k)
+
+    def test_guard_load_around_compute_only_not_flagged(self):
+        """Data-dependent branching over *resident* work slices away fine
+        (Word Count's shape)."""
+        k = kernel_of(
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("c", Load(REF(Var("i")))),
+                    If(
+                        BinOp(">", Var("c"), Const(0)),
+                        (AtomicAdd("out", Const(0), Const(1)),),
+                    ),
+                ),
+            )
+        )
+        assert not has_data_dependent_addressing(k)
+        ag = make_addrgen_kernel(k)  # must not raise
+        # the whole If is sliced away; the load's address is still emitted
+        from repro.kernelc.ir import EmitAddress, walk_stmts
+
+        kinds = [type(s).__name__ for s in walk_stmts(ag.body)]
+        assert "EmitAddress" in kinds and "If" not in kinds
+
+    def test_opaque_call_feeding_address_flagged(self):
+        k = Kernel(
+            "k",
+            (
+                For(
+                    "i",
+                    Var("start"),
+                    Var("end"),
+                    (
+                        Assign("idx", Call("mystery", (Var("i"),))),
+                        Assign("x", Load(REF(Var("idx")))),
+                    ),
+                ),
+            ),
+            mapped={"arr": SCHEMA},
+            device_functions=("mystery",),
+        )
+        assert has_data_dependent_addressing(k)
+
+    def test_while_over_mapped_data_flagged(self):
+        k = kernel_of(
+            Assign("i", Var("start")),
+            Assign("c", Const(1)),
+            While(
+                BinOp(">", Var("c"), Const(0)),
+                (
+                    Assign("c", Load(REF(Var("i")))),
+                    Assign("i", BinOp("+", Var("i"), Const(1))),
+                ),
+            ),
+        )
+        # the while guard (via c) controls mapped accesses and is fed by one
+        assert has_data_dependent_addressing(k)
+
+
+class TestMappedAccesses:
+    def test_reads_and_writes_enumerated(self):
+        from repro.kernelc.ir import Store
+
+        k = kernel_of(
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("x", Load(REF(Var("i")))),
+                    Store(REF(Var("i")), BinOp("*", Var("x"), Const(2))),
+                ),
+            )
+        )
+        acc = mapped_accesses(k)
+        kinds = [kind for kind, _ in acc]
+        assert kinds == ["read", "write"]

@@ -1,0 +1,192 @@
+"""Tests for IR basics: schemas, validation, printing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRValidationError
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Call,
+    Const,
+    FieldSpec,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Param,
+    RecordSchema,
+    ResidentLoad,
+    Store,
+    Var,
+    While,
+    loc_count,
+    render_kernel,
+    validate_kernel,
+)
+
+
+PARTICLE = RecordSchema.packed(
+    [("x", "f8"), ("y", "f8"), ("z", "f8"), ("cid", "i4")], record_size=48
+)
+
+
+class TestRecordSchema:
+    def test_packed_offsets(self):
+        assert PARTICLE.field("x").offset == 0
+        assert PARTICLE.field("y").offset == 8
+        assert PARTICLE.field("cid").offset == 24
+        assert PARTICLE.record_size == 48
+
+    def test_numpy_dtype_roundtrip(self):
+        dt = PARTICLE.numpy_dtype()
+        assert dt.itemsize == 48
+        arr = np.zeros(4, dtype=dt)
+        arr["x"][2] = 1.5
+        assert arr["x"][2] == 1.5
+
+    def test_overlapping_fields_rejected(self):
+        with pytest.raises(IRValidationError):
+            RecordSchema(
+                (FieldSpec("a", "f8", 0), FieldSpec("b", "f8", 4)), record_size=16
+            )
+
+    def test_field_outside_record_rejected(self):
+        with pytest.raises(IRValidationError):
+            RecordSchema((FieldSpec("a", "f8", 12),), record_size=16)
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(IRValidationError):
+            RecordSchema(
+                (FieldSpec("a", "f4", 0), FieldSpec("a", "f4", 4)), record_size=8
+            )
+
+    def test_unknown_field_lookup(self):
+        with pytest.raises(IRValidationError):
+            PARTICLE.field("w")
+
+    def test_bytes_schema(self):
+        bs = RecordSchema.bytes_schema()
+        assert bs.record_size == 1
+        assert bs.field("byte").nbytes == 1
+
+
+def _kmeans_kernel():
+    """The paper's running example (Section III-A)."""
+    ref = lambda f: MappedRef("particles", Var("i"), f)
+    body = (
+        For(
+            "i",
+            Var("start"),
+            Var("end"),
+            (
+                Assign("x", Load(ref("x"))),
+                Assign("y", Load(ref("y"))),
+                Assign("z", Load(ref("z"))),
+                Assign(
+                    "cid",
+                    Call("findClosestCluster", (Var("x"), Var("y"), Var("z"))),
+                ),
+                Store(ref("cid"), Var("cid")),
+            ),
+        ),
+    )
+    return Kernel(
+        name="clusterKernel",
+        body=body,
+        mapped={"particles": PARTICLE},
+        resident=("clusters",),
+        params=("numP",),
+        device_functions=("findClosestCluster",),
+    )
+
+
+class TestValidation:
+    def test_valid_kernel_passes(self):
+        validate_kernel(_kmeans_kernel())
+
+    def test_undeclared_mapped_array(self):
+        k = Kernel(
+            "bad",
+            (Assign("x", Load(MappedRef("ghost", Var("i"), "x"))),),
+            mapped={},
+        )
+        with pytest.raises(IRValidationError, match="ghost"):
+            validate_kernel(k)
+
+    def test_unknown_field(self):
+        k = Kernel(
+            "bad",
+            (
+                For(
+                    "i",
+                    Var("start"),
+                    Var("end"),
+                    (Assign("x", Load(MappedRef("particles", Var("i"), "nope"))),),
+                ),
+            ),
+            mapped={"particles": PARTICLE},
+        )
+        with pytest.raises(IRValidationError):
+            validate_kernel(k)
+
+    def test_undeclared_resident_array(self):
+        k = Kernel("bad", (Assign("v", ResidentLoad("table", Const(0))),))
+        with pytest.raises(IRValidationError, match="table"):
+            validate_kernel(k)
+
+    def test_undeclared_device_function(self):
+        k = Kernel("bad", (Assign("v", Call("mystery", ())),))
+        with pytest.raises(IRValidationError, match="mystery"):
+            validate_kernel(k)
+
+    def test_load_in_guard_rejected(self):
+        ref = MappedRef("particles", Var("i"), "x")
+        k = Kernel(
+            "bad",
+            (
+                For(
+                    "i",
+                    Var("start"),
+                    Var("end"),
+                    (If(BinOp(">", Load(ref), Const(0)), (Assign("a", Const(1)),)),),
+                ),
+            ),
+            mapped={"particles": PARTICLE},
+        )
+        with pytest.raises(IRValidationError, match="guard"):
+            validate_kernel(k)
+
+    def test_undefined_variable_rejected(self):
+        k = Kernel("bad", (Assign("a", Var("never_set")),))
+        with pytest.raises(IRValidationError, match="never_set"):
+            validate_kernel(k)
+
+    def test_undeclared_atomic_target(self):
+        k = Kernel("bad", (AtomicAdd("counts", Const(0), Const(1)),))
+        with pytest.raises(IRValidationError):
+            validate_kernel(k)
+
+
+class TestPrinter:
+    def test_renders_cuda_like_source(self):
+        src = render_kernel(_kmeans_kernel())
+        assert "__global__ void clusterKernel" in src
+        assert "particles[i].x" in src
+        assert "findClosestCluster" in src
+
+    def test_loc_count_positive(self):
+        assert loc_count(_kmeans_kernel()) >= 8
+
+    def test_transformed_kernels_render(self):
+        from repro.kernelc import make_addrgen_kernel, make_databuf_kernel
+
+        k = _kmeans_kernel()
+        ag = render_kernel(make_addrgen_kernel(k))
+        db = render_kernel(make_databuf_kernel(k))
+        assert "addrBuf[counter++]" in ag
+        assert "writeAddrBuf" in ag  # the cid store address
+        assert "dataBuf[counter++]" in db
+        assert "writeBuf[wcounter++]" in db

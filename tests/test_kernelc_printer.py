@@ -1,0 +1,131 @@
+"""Rendering coverage for every IR node kind."""
+
+import pytest
+
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
+    Call,
+    Const,
+    ExprStmt,
+    For,
+    If,
+    Kernel,
+    Load,
+    MappedRef,
+    Param,
+    RecordSchema,
+    ResidentLoad,
+    ResidentStore,
+    Store,
+    UnOp,
+    Var,
+    While,
+    loc_count,
+    make_addrgen_kernel,
+    make_databuf_kernel,
+    render_kernel,
+)
+from repro.kernelc.printer import render_expr
+
+SCHEMA = RecordSchema.packed([("v", "f8")])
+
+
+class TestExprRendering:
+    def test_const_var_param(self):
+        assert render_expr(Const(3)) == "3"
+        assert render_expr(Var("x")) == "x"
+        assert render_expr(Param("numP")) == "numP"
+
+    def test_binop_infix(self):
+        assert render_expr(BinOp("+", Var("a"), Const(1))) == "(a + 1)"
+
+    def test_binop_min_max_functional(self):
+        assert render_expr(BinOp("min", Var("a"), Var("b"))) == "min(a, b)"
+
+    def test_unop(self):
+        assert render_expr(UnOp("-", Var("x"))) == "(-x)"
+
+    def test_call(self):
+        assert render_expr(Call("f", (Var("x"), Const(2)))) == "f(x, 2)"
+
+    def test_mapped_ref_and_load(self):
+        ref = MappedRef("arr", Var("i"), "v")
+        assert render_expr(ref) == "&arr[i].v"
+        assert render_expr(Load(ref)) == "arr[i].v"
+
+    def test_resident_load(self):
+        assert render_expr(ResidentLoad("tab", Var("k"))) == "tab[k]"
+
+
+class TestStatementRendering:
+    def render(self, *stmts):
+        k = Kernel("t", tuple(stmts), mapped={"arr": SCHEMA}, resident=("tab",))
+        return render_kernel(k)
+
+    def test_if_else(self):
+        src = self.render(
+            If(
+                BinOp(">", Var("start"), Const(0)),
+                (Assign("a", Const(1)),),
+                (Assign("a", Const(2)),),
+            )
+        )
+        assert "if ((start > 0)) {" in src and "} else {" in src
+
+    def test_while_and_break(self):
+        src = self.render(
+            While(BinOp("<", Var("start"), Var("end")), (Break(),))
+        )
+        assert "while ((start < end)) {" in src and "break;" in src
+
+    def test_for_loop(self):
+        src = self.render(For("i", Var("start"), Var("end"), (Assign("a", Var("i")),)))
+        assert "for (i = start; i < end; i += 1) {" in src
+
+    def test_store_and_resident_store(self):
+        src = self.render(
+            Store(MappedRef("arr", Var("start"), "v"), Const(1.0)),
+            ResidentStore("tab", Const(0), Const(2)),
+        )
+        assert "arr[start].v = 1.0;" in src
+        assert "tab[0] = 2;" in src
+
+    def test_atomic_add(self):
+        src = self.render(AtomicAdd("tab", Const(0), Const(1)))
+        assert "atomicAdd(&tab[0], 1);" in src
+
+    def test_expr_stmt(self):
+        k = Kernel(
+            "t",
+            (ExprStmt(Call("g", ())),),
+            mapped={"arr": SCHEMA},
+            device_functions=("g",),
+        )
+        assert "g();" in render_kernel(k)
+
+    def test_transformed_node_rendering(self):
+        body = (
+            For(
+                "i",
+                Var("start"),
+                Var("end"),
+                (
+                    Assign("x", Load(MappedRef("arr", Var("i"), "v"))),
+                    Store(MappedRef("arr", Var("i"), "v"), Var("x")),
+                ),
+            ),
+        )
+        k = Kernel("t", body, mapped={"arr": SCHEMA})
+        ag_src = render_kernel(make_addrgen_kernel(k))
+        db_src = render_kernel(make_databuf_kernel(k))
+        assert "addrBuf[counter++][tid] = &arr[i].v;" in ag_src
+        assert "writeAddrBuf[counter++][tid] = &arr[i].v;" in ag_src
+        assert "dataBuf[counter++][tid]" in db_src
+        assert "writeBuf[wcounter++][tid]" in db_src
+
+    def test_loc_count_ignores_blank_lines(self):
+        k = Kernel("t", (Assign("a", Const(1)),), mapped={"arr": SCHEMA})
+        assert loc_count(k) == 4  # comment, signature, body, closing brace

@@ -1,0 +1,254 @@
+"""Property-based compiler soundness: random kernels, full round trip.
+
+Hypothesis generates random (sliceable-by-construction) kernels over a
+mapped record array — nested loops/branches, address arithmetic from loop
+variables, mapped loads feeding resident accumulators, mapped stores — and
+checks that the address-generation slice + gather + databuf execution
+reproduces the original kernel's effects exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Const,
+    ExecutionContext,
+    For,
+    If,
+    Kernel,
+    KernelInterpreter,
+    Load,
+    MappedRef,
+    RecordSchema,
+    Store,
+    Var,
+    make_addrgen_kernel,
+    make_databuf_kernel,
+    validate_kernel,
+)
+
+SCHEMA = RecordSchema.packed(
+    [("a", "f8"), ("b", "i4"), ("c", "i4"), ("d", "f8")], record_size=32
+)
+#: fields the kernel reads; stores only target field "c" of the thread's
+#: own record (BigKernel's streaming contract: no read-after-write to
+#: mapped data within a launch — see repro.kernelc.slicing)
+READ_FIELDS = ("a", "b", "d")
+N_RECORDS = 12
+ACC_SIZE = 8
+
+
+# --------------------------------------------------------------------------
+# kernel grammar
+# --------------------------------------------------------------------------
+
+def index_exprs():
+    """Address arithmetic from the loop variable only (sliceable)."""
+    return st.sampled_from(
+        [
+            Var("i"),
+            BinOp("%", BinOp("+", Var("i"), Const(1)), Const(N_RECORDS)),
+            BinOp("%", BinOp("*", Var("i"), Const(3)), Const(N_RECORDS)),
+            BinOp("-", BinOp("-", Var("end"), Const(1)), Var("i")),
+        ]
+    )
+
+
+def load_stmts(tmp_names):
+    """Assign a mapped load to a temp local."""
+    return st.builds(
+        lambda name, field, idx: Assign(name, Load(MappedRef("arr", idx, field))),
+        st.sampled_from(tmp_names),
+        st.sampled_from(READ_FIELDS),
+        index_exprs(),
+    )
+
+
+def compute_stmts(tmp_names):
+    """Pure compute over temps + resident accumulation (dropped by slicer)."""
+    val = st.sampled_from(
+        [Var(n) for n in tmp_names] + [Const(1), Const(2.5)]
+    )
+    acc = st.builds(
+        lambda idx, v: AtomicAdd("acc", BinOp("%", idx, Const(ACC_SIZE)), v),
+        st.sampled_from([Var("i"), Const(3)]),
+        val,
+    )
+    arith = st.builds(
+        lambda name, v: Assign(name, BinOp("+", Var(name), v)),
+        st.sampled_from(tmp_names),
+        val,
+    )
+    return st.one_of(acc, arith)
+
+
+def store_stmts(tmp_names):
+    """Write a temp to field "c" of the thread's own record.
+
+    The store field is never loaded and the index is the loop variable, so
+    mapped data is never read after being written (the streaming
+    contract).
+    """
+    return st.builds(
+        lambda name: Store(
+            MappedRef("arr", Var("i"), "c"), BinOp("%", Var(name), Const(1000))
+        ),
+        st.sampled_from(tmp_names),
+    )
+
+
+def guarded(body_strategy):
+    """Wrap statements in a branch whose guard uses temps (not loads)."""
+    return st.builds(
+        lambda cond_var, then, els: If(
+            BinOp(">", Var(cond_var), Const(0)), tuple(then), tuple(els)
+        ),
+        st.sampled_from(("t0", "t1")),
+        st.lists(body_strategy, min_size=1, max_size=3),
+        st.lists(body_strategy, min_size=0, max_size=2),
+    )
+
+
+def inner_loops(tmp_names):
+    """A nested loop whose variable participates in address arithmetic."""
+    inner_load = st.builds(
+        lambda name, field: Assign(
+            name,
+            Load(
+                MappedRef(
+                    "arr",
+                    BinOp(
+                        "%",
+                        BinOp("+", Var("i"), Var("j")),
+                        Const(N_RECORDS),
+                    ),
+                    field,
+                )
+            ),
+        ),
+        st.sampled_from(tmp_names),
+        st.sampled_from(READ_FIELDS),
+    )
+    return st.builds(
+        lambda trip, body: For("j", Const(0), Const(trip), tuple(body)),
+        st.integers(1, 3),
+        st.lists(st.one_of(inner_load, compute_stmts(tmp_names)), min_size=1, max_size=3),
+    )
+
+
+@st.composite
+def random_kernels(draw):
+    tmp_names = ("t0", "t1", "t2")
+    inits = [Assign(n, Const(0)) for n in tmp_names]
+    body_atom = st.one_of(
+        load_stmts(tmp_names), compute_stmts(tmp_names), store_stmts(tmp_names)
+    )
+    # loads must happen before stores/branches can use meaningful temps,
+    # so force one leading load, then a random mix including branches
+    first = draw(load_stmts(tmp_names))
+    rest = draw(
+        st.lists(
+            st.one_of(body_atom, guarded(body_atom), inner_loops(tmp_names)),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    loop = For("i", Var("start"), Var("end"), tuple([first] + rest))
+    return Kernel(
+        "random_kernel",
+        tuple(inits) + (loop,),
+        mapped={"arr": SCHEMA},
+        resident=("acc",),
+    )
+
+
+def make_ctx(seed):
+    rng = np.random.default_rng(seed)
+    arr = np.zeros(N_RECORDS, dtype=SCHEMA.numpy_dtype())
+    arr["a"] = rng.uniform(-5, 5, N_RECORDS)
+    arr["b"] = rng.integers(-100, 100, N_RECORDS)
+    arr["c"] = rng.integers(-100, 100, N_RECORDS)
+    arr["d"] = rng.uniform(-5, 5, N_RECORDS)
+    return ExecutionContext(
+        mapped={"arr": arr}, resident={"acc": np.zeros(ACC_SIZE, dtype=np.float64)}
+    )
+
+
+@given(kernel=random_kernels(), seed=st.integers(0, 10**6))
+@settings(max_examples=120, deadline=None)
+def test_random_kernel_roundtrip(kernel, seed):
+    """Random programs take one of the paper's two paths, both sound:
+
+    * sliceable: addr-gen slice + gather + databuf == original;
+    * data-dependent control flow around mapped accesses: the slicer
+      rejects it and the full-transfer fallback window reproduces the
+      original instead.
+    """
+    from repro.errors import SlicingError
+
+    validate_kernel(kernel)
+
+    ctx_orig = make_ctx(seed)
+    orig = KernelInterpreter(kernel, ctx_orig)
+    orig.run_thread(0, 0, N_RECORDS)
+
+    ctx_bk = make_ctx(seed)
+    try:
+        addrgen = make_addrgen_kernel(kernel)
+    except SlicingError:
+        _check_fallback_path(kernel, ctx_orig, ctx_bk, orig)
+        return
+    ag = KernelInterpreter(addrgen, ctx_bk)
+    ag.run_thread(0, 0, N_RECORDS)
+
+    # gather from the *pre-run* state, exactly like the assembly stage
+    view = ctx_bk.mapped["arr"].view(np.uint8).reshape(-1)
+    values = [
+        view[r.offset : r.offset + r.nbytes].view(r.dtype)[0]
+        for r in ag.read_addresses
+    ]
+
+    db = KernelInterpreter(make_databuf_kernel(kernel), ctx_bk)
+    db.load_data(values)
+    db.run_thread(0, 0, N_RECORDS)
+
+    # same number of loads and stores on both paths
+    assert len(ag.read_addresses) == orig.stats.n_mapped_reads
+    assert len(ag.write_addresses) == len(db.write_queue) == orig.stats.n_mapped_writes
+
+    # apply the write-back stage
+    for rec, (_, value) in zip(ag.write_addresses, db.write_queue):
+        view[rec.offset : rec.offset + rec.nbytes] = np.asarray(
+            [value], dtype=rec.dtype
+        ).view(np.uint8)
+
+    np.testing.assert_array_equal(
+        ctx_orig.resident["acc"], ctx_bk.resident["acc"]
+    )
+    np.testing.assert_array_equal(
+        ctx_orig.mapped["arr"].view(np.uint8), ctx_bk.mapped["arr"].view(np.uint8)
+    )
+
+
+def _check_fallback_path(kernel, ctx_orig, ctx_bk, orig):
+    """Unsliceable kernel: whole-range window + databuf form == original."""
+    view = ctx_bk.mapped["arr"].view(np.uint8).reshape(-1)
+    db = KernelInterpreter(make_databuf_kernel(kernel), ctx_bk)
+    db.fallback_windows["arr"] = (0, view.copy())  # pre-run snapshot
+    db.run_thread(0, 0, N_RECORDS)
+    assert db.stats.n_mapped_reads == orig.stats.n_mapped_reads
+    assert len(db.write_queue) == orig.stats.n_mapped_writes
+    for rec, value in db.write_queue:
+        view[rec.offset : rec.offset + rec.nbytes] = np.asarray(
+            [value], dtype=rec.dtype
+        ).view(np.uint8)
+    np.testing.assert_array_equal(
+        ctx_orig.resident["acc"], ctx_bk.resident["acc"]
+    )
+    np.testing.assert_array_equal(
+        ctx_orig.mapped["arr"].view(np.uint8), ctx_bk.mapped["arr"].view(np.uint8)
+    )

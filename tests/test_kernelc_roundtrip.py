@@ -1,0 +1,306 @@
+"""The compiler's soundness property, end to end.
+
+For a sliceable kernel: run the addrgen form to get the address stream,
+gather those bytes from the host array (exactly what the data-assembly
+stage does), feed them to the databuf form, and check the outputs equal an
+original-form run. Also checks write-back equivalence and the
+data-dependent fallback path.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BufferOverrun, SlicingError
+from repro.kernelc import (
+    Assign,
+    AtomicAdd,
+    BinOp,
+    Call,
+    Const,
+    EmitAddress,
+    ExecutionContext,
+    For,
+    If,
+    Kernel,
+    KernelInterpreter,
+    Load,
+    MappedRef,
+    Param,
+    RecordSchema,
+    ResidentLoad,
+    Store,
+    UnOp,
+    Var,
+    While,
+    make_addrgen_kernel,
+    make_databuf_kernel,
+    mapped_accesses,
+    validate_kernel,
+)
+
+PARTICLE = RecordSchema.packed(
+    [("x", "f8"), ("y", "f8"), ("z", "f8"), ("cid", "i4")], record_size=48
+)
+
+
+def kmeans_kernel():
+    ref = lambda f: MappedRef("particles", Var("i"), f)
+    body = (
+        For(
+            "i",
+            Var("start"),
+            Var("end"),
+            (
+                Assign("x", Load(ref("x"))),
+                Assign("y", Load(ref("y"))),
+                Assign("z", Load(ref("z"))),
+                Assign("cid", Call("findClosest", (Var("x"), Var("y"), Var("z")))),
+                Store(ref("cid"), Var("cid")),
+            ),
+        ),
+    )
+    return Kernel(
+        "clusterKernel",
+        body,
+        mapped={"particles": PARTICLE},
+        resident=("clusters",),
+        device_functions=("findClosest",),
+    )
+
+
+def make_ctx(n=16, seed=0, k=4):
+    rng = np.random.default_rng(seed)
+    particles = np.zeros(n, dtype=PARTICLE.numpy_dtype())
+    for f in "xyz":
+        particles[f] = rng.uniform(-10, 10, n)
+    clusters = rng.uniform(-10, 10, (k, 3))
+
+    def find_closest(ctx, x, y, z):
+        c = ctx.resident["clusters"]
+        d = (c[:, 0] - x) ** 2 + (c[:, 1] - y) ** 2 + (c[:, 2] - z) ** 2
+        return int(np.argmin(d))
+
+    return ExecutionContext(
+        mapped={"particles": particles},
+        resident={"clusters": clusters},
+        device_fns={"findClosest": find_closest},
+    )
+
+
+def gather(ctx, addresses):
+    """Exactly the data-assembly gather: bytes at each address, typed."""
+    values = []
+    for rec in addresses:
+        arr = ctx.mapped[rec.array]
+        raw = arr.view(np.uint8).reshape(-1)[rec.offset : rec.offset + rec.nbytes]
+        values.append(raw.view(rec.dtype)[0])
+    return values
+
+
+def run_roundtrip(kernel, ctx_factory, start, end, tid=0):
+    """addrgen -> gather -> databuf, compared against original."""
+    # Original run on its own copy of the data.
+    ctx_orig = ctx_factory()
+    interp = KernelInterpreter(kernel, ctx_orig)
+    interp.run_thread(tid, start, end)
+
+    # BigKernel path on a second copy.
+    ctx_bk = ctx_factory()
+    ag = KernelInterpreter(make_addrgen_kernel(kernel), ctx_bk)
+    ag.run_thread(tid, start, end)
+    data = gather(ctx_bk, ag.read_addresses)
+    db = KernelInterpreter(make_databuf_kernel(kernel), ctx_bk)
+    db.load_data(data)
+    db.run_thread(tid, start, end)
+    # Apply write-back: write addresses (addrgen order) + values (compute order).
+    assert len(ag.write_addresses) == len(db.write_queue)
+    for addr_rec, (val_rec, value) in zip(ag.write_addresses, db.write_queue):
+        assert addr_rec == val_rec  # same access, both streams agree
+        arr = ctx_bk.mapped[addr_rec.array]
+        raw = arr.view(np.uint8).reshape(-1)
+        raw[addr_rec.offset : addr_rec.offset + addr_rec.nbytes] = np.asarray(
+            [value], dtype=addr_rec.dtype
+        ).view(np.uint8)
+    return ctx_orig, ctx_bk, ag, db
+
+
+class TestKMeansRoundtrip:
+    def test_outputs_match_original(self):
+        k = kmeans_kernel()
+        validate_kernel(k)
+        ctx_orig, ctx_bk, ag, db = run_roundtrip(k, make_ctx, 0, 16)
+        np.testing.assert_array_equal(
+            ctx_orig.mapped["particles"]["cid"], ctx_bk.mapped["particles"]["cid"]
+        )
+
+    def test_address_stream_covers_reads_only(self):
+        k = kmeans_kernel()
+        _, _, ag, _ = run_roundtrip(k, make_ctx, 0, 16)
+        # 3 reads per record (x, y, z)
+        assert len(ag.read_addresses) == 48
+        assert all(not a.is_write for a in ag.read_addresses)
+        # reads touch only the xyz 24-byte prefix of each 48B record
+        assert all(a.offset % 48 < 24 for a in ag.read_addresses)
+
+    def test_write_stream_is_cid_only(self):
+        k = kmeans_kernel()
+        _, _, ag, _ = run_roundtrip(k, make_ctx, 0, 16)
+        assert len(ag.write_addresses) == 16
+        assert all(a.offset % 48 == 24 and a.nbytes == 4 for a in ag.write_addresses)
+
+    def test_transferred_volume_is_reduced(self):
+        """Only 24 of 48 bytes per record cross the link (Table I: 50%)."""
+        k = kmeans_kernel()
+        _, _, ag, _ = run_roundtrip(k, make_ctx, 0, 16)
+        read_bytes = sum(a.nbytes for a in ag.read_addresses)
+        assert read_bytes == 16 * 24
+
+    def test_partial_thread_range(self):
+        k = kmeans_kernel()
+        ctx_orig, ctx_bk, _, _ = run_roundtrip(k, make_ctx, 5, 11, tid=3)
+        np.testing.assert_array_equal(
+            ctx_orig.mapped["particles"]["cid"][5:11],
+            ctx_bk.mapped["particles"]["cid"][5:11],
+        )
+
+    @given(
+        seed=st.integers(0, 1000),
+        n=st.integers(1, 40),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed, n):
+        k = kmeans_kernel()
+        ctx_orig, ctx_bk, _, _ = run_roundtrip(
+            k, lambda: make_ctx(n=n, seed=seed), 0, n
+        )
+        np.testing.assert_array_equal(
+            ctx_orig.mapped["particles"]["cid"], ctx_bk.mapped["particles"]["cid"]
+        )
+
+
+BYTES = RecordSchema.bytes_schema()
+
+
+def wordcount_like_kernel():
+    """Streaming byte scan with data-dependent *compute* (sliceable):
+    counts bytes over a threshold into a resident histogram."""
+    body = (
+        For(
+            "i",
+            Var("start"),
+            Var("end"),
+            (
+                Assign("c", Load(MappedRef("text", Var("i"), "byte"))),
+                Assign("h", BinOp("%", Var("c"), Const(16))),
+                If(
+                    BinOp(">", Var("c"), Const(96)),
+                    (AtomicAdd("hist", Var("h"), Const(1)),),
+                ),
+            ),
+        ),
+    )
+    return Kernel("wc", body, mapped={"text": BYTES}, resident=("hist",))
+
+
+class TestByteStreamRoundtrip:
+    def make_ctx(self, n=200, seed=1):
+        rng = np.random.default_rng(seed)
+        text = np.zeros(n, dtype=BYTES.numpy_dtype())
+        text["byte"] = rng.integers(32, 127, n, dtype=np.uint8)
+        return ExecutionContext(
+            mapped={"text": text}, resident={"hist": np.zeros(16, dtype=np.int64)}
+        )
+
+    def test_histogram_matches(self):
+        k = wordcount_like_kernel()
+        validate_kernel(k)
+        ctx_orig, ctx_bk, ag, db = run_roundtrip(k, self.make_ctx, 0, 200)
+        np.testing.assert_array_equal(
+            ctx_orig.resident["hist"], db.ctx.resident["hist"]
+        )
+
+    def test_addresses_are_sequential_bytes(self):
+        k = wordcount_like_kernel()
+        _, _, ag, _ = run_roundtrip(k, self.make_ctx, 0, 200)
+        offs = [a.offset for a in ag.read_addresses]
+        assert offs == list(range(200))  # perfect stride-1 pattern
+
+
+def data_dependent_kernel():
+    """Index chasing: next index comes from mapped data (unsliceable)."""
+    IDX = RecordSchema.packed([("next", "i8")], record_size=8)
+    body = (
+        Assign("i", Var("start")),
+        Assign("n", Const(0)),
+        While(
+            BinOp("<", Var("n"), Const(4)),
+            (
+                Assign("i", Load(MappedRef("links", Var("i"), "next"))),
+                Assign("n", BinOp("+", Var("n"), Const(1))),
+            ),
+        ),
+    )
+    return Kernel("chase", body, mapped={"links": IDX})
+
+
+class TestFallbackPath:
+    def test_unsliceable_kernel_raises(self):
+        with pytest.raises(SlicingError):
+            make_addrgen_kernel(data_dependent_kernel())
+
+    def test_fallback_window_execution(self):
+        """The databuf kernel still runs against a full-data window."""
+        k = data_dependent_kernel()
+        links = np.zeros(8, dtype=RecordSchema.packed([("next", "i8")]).numpy_dtype())
+        links["next"] = (np.arange(8) + 3) % 8
+        ctx = ExecutionContext(mapped={"links": links})
+        orig = KernelInterpreter(k, ctx)
+        orig.run_thread(0, 0, 8)
+
+        db = KernelInterpreter(make_databuf_kernel(k), ctx)
+        db.fallback_windows["links"] = (0, links.view(np.uint8).reshape(-1).copy())
+        db.run_thread(0, 0, 8)
+        # both walked the same chain: compare final env not available, but
+        # stats agree on number of loads
+        assert db.stats.n_mapped_reads == orig.stats.n_mapped_reads == 4
+
+    def test_fallback_window_out_of_range(self):
+        k = data_dependent_kernel()
+        links = np.zeros(8, dtype=RecordSchema.packed([("next", "i8")]).numpy_dtype())
+        links["next"] = 100  # points outside the window
+        ctx = ExecutionContext(mapped={"links": links})
+        db = KernelInterpreter(make_databuf_kernel(k), ctx)
+        db.fallback_windows["links"] = (0, links.view(np.uint8).reshape(-1).copy())
+        with pytest.raises(BufferOverrun):
+            db.run_thread(0, 0, 8)
+
+
+class TestQueueUnderrun:
+    def test_short_data_queue_detected(self):
+        k = kmeans_kernel()
+        ctx = make_ctx()
+        db = KernelInterpreter(make_databuf_kernel(k), ctx)
+        db.load_data([1.0, 2.0])  # far too few values
+        with pytest.raises(BufferOverrun):
+            db.run_thread(0, 0, 16)
+
+
+class TestMappedAccessAnalysis:
+    def test_kmeans_accesses(self):
+        acc = mapped_accesses(kmeans_kernel())
+        kinds = [kind for kind, _ in acc]
+        assert kinds.count("read") == 3
+        assert kinds.count("write") == 1
+
+    def test_addrgen_emits_match_analysis(self):
+        k = kmeans_kernel()
+        ag = make_addrgen_kernel(k)
+        emits = [s for s in _walk(ag.body) if isinstance(s, EmitAddress)]
+        assert len(emits) == 4
+
+
+def _walk(body):
+    from repro.kernelc.ir import walk_stmts
+
+    return list(walk_stmts(body))

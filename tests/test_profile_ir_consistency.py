@@ -1,0 +1,94 @@
+"""Cross-validation: the access profiles that drive the cost models agree
+with what the kernels *actually do* in the IR interpreter.
+
+If an app's profile claimed more (or fewer) bytes/accesses than its kernel
+performs, every timing result would be silently wrong — so this is the
+keystone consistency check between the functional and temporal layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import ALL_APPS, get_app
+from repro.kernelc import KernelInterpreter
+
+SIZES = {
+    "kmeans": 48 * 64,
+    "wordcount": 3000,
+    "netflix": 80 * 64,
+    "opinion": 112 * 16,
+    "dna": 128 * 32,
+    "mastercard": 3000,
+    "mastercard_indexed": 3000,
+}
+
+
+def run_ir_full(app, data):
+    ctx = app.make_ir_context(data)
+    n = app.n_units(data)
+    interp = None
+    for p in range(app.n_passes):
+        if app.n_passes > 1:
+            ctx.params["pass_idx"] = p
+        interp = KernelInterpreter(app.kernel(), ctx)
+        interp.run_thread(0, 0, n)
+    return interp  # stats of the LAST pass (per-pass counters)
+
+
+@pytest.mark.parametrize("name", [cls.name for cls in ALL_APPS])
+def test_profile_read_bytes_match_kernel(name):
+    """profile.read_bytes_per_record == measured mapped read bytes / unit."""
+    app = get_app(name)
+    data = app.generate(n_bytes=SIZES[name], seed=17)
+    profile = app.access_profile(data)
+    interp = run_ir_full(app, data)
+    n = app.n_units(data)
+    measured = interp.stats.mapped_read_bytes / n
+    assert measured == pytest.approx(profile.read_bytes_per_record, rel=0.02), (
+        f"{name}: profile says {profile.read_bytes_per_record} B/unit, "
+        f"kernel reads {measured:.2f}"
+    )
+
+
+@pytest.mark.parametrize("name", [cls.name for cls in ALL_APPS])
+def test_profile_write_bytes_match_kernel(name):
+    app = get_app(name)
+    data = app.generate(n_bytes=SIZES[name], seed=17)
+    profile = app.access_profile(data)
+    interp = run_ir_full(app, data)
+    n = app.n_units(data)
+    measured = interp.stats.mapped_write_bytes / n
+    assert measured == pytest.approx(
+        profile.write_bytes_per_record, rel=0.02, abs=1e-9
+    ), name
+
+
+@pytest.mark.parametrize(
+    "name", ["kmeans", "netflix", "opinion", "dna", "wordcount", "mastercard"]
+)
+def test_offsets_cover_same_bytes_as_kernel(name):
+    """chunk_read_offsets (which feeds assembly + pattern recognition)
+    touches exactly the bytes the kernel loads."""
+    app = get_app(name)
+    data = app.generate(n_bytes=SIZES[name], seed=17)
+    profile = app.access_profile(data)
+    n = min(16, app.n_units(data))
+    ctx = app.make_ir_context(data)
+    if app.n_passes > 1:
+        ctx.params["pass_idx"] = 0
+    from repro.kernelc import make_addrgen_kernel
+
+    ag = KernelInterpreter(make_addrgen_kernel(app.kernel()), ctx)
+    ag.run_thread(0, 0, n)
+    kernel_bytes = set()
+    for rec in ag.read_addresses:
+        kernel_bytes.update(range(rec.offset, rec.offset + rec.nbytes))
+
+    offs = app.chunk_read_offsets(data, 0, n)
+    elem = int(
+        round(profile.read_bytes_per_record / max(profile.reads_per_record, 1e-9))
+    ) or 1
+    vec_bytes = set()
+    for o in offs.tolist():
+        vec_bytes.update(range(o, o + elem))
+    assert kernel_bytes == vec_bytes

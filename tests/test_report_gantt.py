@@ -1,0 +1,106 @@
+"""Tests for the ASCII Gantt renderer and failure behaviour of pipeline
+processes."""
+
+import pytest
+
+from repro.bench.report import render_gantt
+from repro.errors import Deadlock
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import ChunkWork, run_pipeline
+from repro.sim import Environment, Resource, Store, TraceRecorder
+from repro.units import MiB
+
+
+class TestGantt:
+    def make_trace(self):
+        tr = TraceRecorder()
+        tr.record("gpu", "compute", 0.0, 0.5)
+        tr.record("gpu", "compute", 0.6, 1.0)
+        tr.record("pcie", "xfer", 0.25, 0.75)
+        return tr
+
+    def test_rows_and_span(self):
+        text = render_gantt(self.make_trace(), width=40)
+        lines = text.splitlines()
+        assert len(lines) == 3  # header + 2 rows
+        assert "gpu:compute" in lines[1]
+        assert "pcie:xfer" in lines[2]
+        assert "1.000 s" in lines[0]
+
+    def test_bars_positioned(self):
+        text = render_gantt(self.make_trace(), width=40)
+        gpu_row = next(l for l in text.splitlines() if "gpu:compute" in l)
+        bars = gpu_row.split("|")[1]
+        # activity at the start, a gap in the middle-ish, activity at the end
+        assert bars[0] == "#"
+        assert bars[-1] == "#"
+        assert " " in bars
+
+    def test_empty_trace(self):
+        assert render_gantt(TraceRecorder()) == "(empty trace)"
+
+    def test_track_filter(self):
+        text = render_gantt(self.make_trace(), tracks=["pcie"])
+        assert "gpu" not in text and "pcie:xfer" in text
+
+    def test_real_pipeline_gantt_renders(self):
+        chunks = [
+            ChunkWork(i, 1e-4, 0, 2e-4, 1 * MiB, 3e-4) for i in range(4)
+        ]
+        res = run_pipeline(DEFAULT_HARDWARE, chunks)
+        text = render_gantt(res.trace)
+        assert "gpu:compute" in text and "pcie-h2d:data_transfer" in text
+
+
+class TestFailurePropagation:
+    def test_stage_exception_surfaces_from_run(self):
+        """A crashing simulated stage fails the run loudly, not silently."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def crasher(env):
+            with res.request() as req:
+                yield req
+                yield env.timeout(1.0)
+                raise RuntimeError("stage died")
+
+        env.process(crasher(env))
+        with pytest.raises(RuntimeError, match="stage died"):
+            env.run()
+
+    def test_crashed_holder_releases_resource(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        acquired = []
+
+        def crasher(env):
+            with res.request() as req:
+                yield req
+                raise RuntimeError("boom")
+
+        def survivor(env, victim):
+            try:
+                yield victim
+            except RuntimeError:
+                pass
+            with res.request() as req:
+                yield req
+                acquired.append(env.now)
+
+        victim = env.process(crasher(env))
+        env.process(survivor(env, victim))
+        env.run()
+        assert acquired  # the resource was not leaked by the crash
+
+    def test_starved_consumer_is_deadlock(self):
+        """A consumer waiting on a store no producer will ever fill drains
+        the queue and raises Deadlock via run(until=event)."""
+        env = Environment()
+        store = Store(env)
+
+        def consumer(env):
+            yield store.get()
+
+        proc = env.process(consumer(env))
+        with pytest.raises(Deadlock):
+            env.run(until=proc)

@@ -1,0 +1,128 @@
+"""Tests for the midstream-pattern-change extension (Section IV-A's
+suggested improvement): AdaptiveAddressTracker."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.pattern import (
+    ADDRESS_BYTES,
+    PATTERN_DESCRIPTOR_BYTES,
+    AdaptiveAddressTracker,
+    OnlineAddressTracker,
+    StridePattern,
+)
+
+
+def two_phase_stream(n1=200, n2=200):
+    """A stream whose stride changes midway — e.g. a kernel switching from
+    an 8-byte field walk to a 4-byte field walk."""
+    first = np.arange(n1, dtype=np.int64) * 8
+    second = 10_000 + np.arange(n2, dtype=np.int64) * 4
+    return np.concatenate([first, second])
+
+
+class TestAdaptiveTracker:
+    def test_single_pattern_stream(self):
+        t = AdaptiveAddressTracker(temp_buffer=8)
+        stream = np.arange(0, 4000, 8)
+        t.feed_many(stream)
+        t.finish()
+        assert not t.fell_back
+        assert len(t.segments) == 1
+        np.testing.assert_array_equal(t.addresses(), stream)
+        assert t.cpu_bytes() == PATTERN_DESCRIPTOR_BYTES
+
+    def test_two_phase_stream_two_segments(self):
+        t = AdaptiveAddressTracker(temp_buffer=8)
+        stream = two_phase_stream()
+        t.feed_many(stream)
+        t.finish()
+        assert not t.fell_back
+        assert len(t.segments) == 2
+        np.testing.assert_array_equal(t.addresses(), stream)
+        assert t.cpu_bytes() == 2 * PATTERN_DESCRIPTOR_BYTES
+
+    def test_beats_original_tracker_on_phase_change(self):
+        """The baseline tracker falls back to raw on the phase change; the
+        adaptive one ships two descriptors."""
+        stream = two_phase_stream()
+        base = OnlineAddressTracker(temp_buffer=8)
+        base.feed_many(stream)
+        base.finish()
+        adaptive = AdaptiveAddressTracker(temp_buffer=8)
+        adaptive.feed_many(stream)
+        adaptive.finish()
+        assert not base.has_pattern
+        assert adaptive.cpu_bytes() < base.cpu_bytes() / 10
+        np.testing.assert_array_equal(base.addresses(), adaptive.addresses())
+
+    def test_fragmentation_limit_falls_back_to_raw(self):
+        """Past max_segments the stream goes raw — bounded overhead."""
+        rng = np.random.default_rng(0)
+        pieces = []
+        for k in range(10):
+            base = int(rng.integers(0, 10**6))
+            pieces.append(base + np.arange(30, dtype=np.int64) * 8)
+        stream = np.concatenate(pieces)
+        t = AdaptiveAddressTracker(temp_buffer=8, max_segments=4)
+        t.feed_many(stream)
+        t.finish()
+        assert t.fell_back
+        np.testing.assert_array_equal(t.addresses(), stream)
+        assert t.cpu_bytes() == stream.size * ADDRESS_BYTES
+
+    def test_random_stream_goes_raw(self):
+        rng = np.random.default_rng(3)
+        stream = rng.integers(0, 10**7, 300)
+        t = AdaptiveAddressTracker(temp_buffer=8)
+        t.feed_many(stream)
+        t.finish()
+        assert t.fell_back
+        np.testing.assert_array_equal(t.addresses(), stream)
+
+    def test_short_tail_segment_recognized(self):
+        """A trailing partial buffer that itself forms a pattern becomes a
+        final segment rather than raw addresses."""
+        stream = np.concatenate(
+            [np.arange(0, 800, 8), 50_000 + np.arange(0, 128, 4)]
+        )
+        t = AdaptiveAddressTracker(temp_buffer=8)
+        t.feed_many(stream)
+        t.finish()
+        assert not t.fell_back
+        np.testing.assert_array_equal(t.addresses(), stream)
+
+    def test_invalid_max_segments(self):
+        with pytest.raises(ValueError):
+            AdaptiveAddressTracker(max_segments=0)
+
+    @given(
+        seed=st.integers(0, 500),
+        n_phases=st.integers(1, 5),
+        phase_len=st.integers(20, 60),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_reconstruction_is_lossless(self, seed, n_phases, phase_len):
+        """Whatever the stream shape, the CPU reproduces it exactly."""
+        rng = np.random.default_rng(seed)
+        pieces = []
+        for _ in range(n_phases):
+            base = int(rng.integers(0, 10**6))
+            stride = int(rng.integers(1, 64))
+            pieces.append(base + np.arange(phase_len, dtype=np.int64) * stride)
+        stream = np.concatenate(pieces)
+        t = AdaptiveAddressTracker(temp_buffer=8, max_segments=3)
+        t.feed_many(stream)
+        t.finish()
+        np.testing.assert_array_equal(t.addresses(), stream)
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_never_costs_more_than_raw(self, seed):
+        rng = np.random.default_rng(seed)
+        stream = rng.integers(0, 10**7, 200)
+        t = AdaptiveAddressTracker(temp_buffer=8)
+        t.feed_many(stream)
+        t.finish()
+        assert t.cpu_bytes() <= stream.size * ADDRESS_BYTES + PATTERN_DESCRIPTOR_BYTES

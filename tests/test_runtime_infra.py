@@ -1,0 +1,184 @@
+"""Tests for streaming arrays, buffer rings, and the scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RuntimeConfigError, SynchronizationError
+from repro.hw import GTX680, GpuDevice
+from repro.hw.gpu_memory import GpuMemoryAllocator
+from repro.hw.pinned import PinnedAllocator
+from repro.kernelc.ir import RecordSchema
+from repro.runtime.buffers import BlockBuffers, BufferConfig, BufferRing
+from repro.runtime.scheduler import ThreadLayout, plan_blocks
+from repro.runtime.streaming import StreamingArray, StreamingRegistry
+from repro.units import GiB, KiB, MiB
+
+PARTICLE = RecordSchema.packed(
+    [("x", "f8"), ("y", "f8"), ("z", "f8"), ("cid", "i4")], record_size=48
+)
+
+
+class TestStreaming:
+    def test_malloc_map_roundtrip(self):
+        reg = StreamingRegistry()
+        reg.streaming_malloc("particles", 48 * 100)
+        host = np.zeros(100, dtype=PARTICLE.numpy_dtype())
+        arr = reg.streaming_map("particles", host, PARTICLE, writable=True)
+        assert reg.get("particles") is arr
+        assert arr.nbytes == 4800
+        assert arr.n_records == 100
+
+    def test_map_without_malloc_rejected(self):
+        reg = StreamingRegistry()
+        host = np.zeros(10, dtype=PARTICLE.numpy_dtype())
+        with pytest.raises(RuntimeConfigError):
+            reg.streaming_map("ghost", host, PARTICLE)
+
+    def test_map_larger_than_declared_rejected(self):
+        reg = StreamingRegistry()
+        reg.streaming_malloc("p", 48)
+        host = np.zeros(10, dtype=PARTICLE.numpy_dtype())
+        with pytest.raises(RuntimeConfigError):
+            reg.streaming_map("p", host, PARTICLE)
+
+    def test_double_malloc_rejected(self):
+        reg = StreamingRegistry()
+        reg.streaming_malloc("p", 48)
+        with pytest.raises(RuntimeConfigError):
+            reg.streaming_malloc("p", 96)
+
+    def test_dtype_schema_mismatch_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            StreamingArray("p", PARTICLE, np.zeros(4, dtype=np.float64))
+
+    def test_byte_view_is_flat(self):
+        host = np.zeros(10, dtype=PARTICLE.numpy_dtype())
+        arr = StreamingArray("p", PARTICLE, host)
+        assert arr.byte_view().shape == (480,)
+
+
+class TestBufferRing:
+    def test_produce_consume_fifo(self):
+        ring = BufferRing(2)
+        ring.produce("a")
+        ring.produce("b")
+        assert ring.consume() == "a"
+        ring.produce("c")
+        assert ring.consume() == "b"
+        assert ring.consume() == "c"
+
+    def test_overrun_detected(self):
+        ring = BufferRing(2)
+        ring.produce(1)
+        ring.produce(2)
+        with pytest.raises(SynchronizationError):
+            ring.produce(3)
+
+    def test_consume_before_produce_detected(self):
+        ring = BufferRing(2)
+        with pytest.raises(SynchronizationError):
+            ring.consume()
+
+    def test_minimum_two_instances(self):
+        with pytest.raises(RuntimeConfigError):
+            BufferRing(1)
+
+
+class TestBufferConfig:
+    def test_pinned_footprint(self):
+        c = BufferConfig(data_buf_bytes=1 * MiB, addr_buf_entries=1024, instances=2)
+        assert c.pinned_bytes_per_block() == 2 * (1 * MiB + 8 * 1024)
+
+    def test_gpu_footprint_includes_write_buffers(self):
+        c = BufferConfig(
+            data_buf_bytes=1 * MiB,
+            addr_buf_entries=64,
+            instances=2,
+            write_buf_bytes=256 * KiB,
+        )
+        assert c.gpu_bytes_per_block() == 2 * (1 * MiB + 256 * KiB)
+
+    def test_single_instance_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            BufferConfig(data_buf_bytes=1, addr_buf_entries=1, instances=1)
+
+
+class TestBlockBuffers:
+    def test_allocation_accounting(self):
+        pinned = PinnedAllocator(1 * GiB)
+        gpu = GpuMemoryAllocator(2 * GiB)
+        cfg = BufferConfig(data_buf_bytes=4 * MiB, addr_buf_entries=4096, instances=2)
+        bb = BlockBuffers(0, cfg)
+        bb.allocate(pinned, gpu)
+        assert pinned.used == cfg.pinned_bytes_per_block()
+        assert gpu.used == cfg.gpu_bytes_per_block()
+        bb.release(pinned, gpu)
+        assert pinned.used == 0
+        assert gpu.used == 0
+
+    def test_write_rings_only_when_writing(self):
+        cfg = BufferConfig(data_buf_bytes=1 * MiB, addr_buf_entries=64, instances=2)
+        assert BlockBuffers(0, cfg).write_ring is None
+        cfg_w = BufferConfig(
+            data_buf_bytes=1 * MiB,
+            addr_buf_entries=64,
+            instances=2,
+            write_buf_bytes=1024,
+        )
+        assert BlockBuffers(0, cfg_w).write_ring is not None
+
+
+class TestThreadLayout:
+    def test_doubles_threads(self):
+        lay = ThreadLayout(compute_threads=256)
+        assert lay.total_threads == 512
+        assert lay.addrgen_threads == 256
+
+    def test_warp_homogeneous_roles(self):
+        lay = ThreadLayout(compute_threads=128)
+        roles = [lay.role_of_warp(w) for w in range(lay.warps)]
+        assert roles == ["addrgen"] * 4 + ["compute"] * 4
+        assert lay.is_divergence_free()
+
+    def test_non_warp_multiple_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            ThreadLayout(compute_threads=100)
+
+    def test_warp_index_bounds(self):
+        lay = ThreadLayout(compute_threads=32)
+        with pytest.raises(RuntimeConfigError):
+            lay.role_of_warp(99)
+
+
+class TestPlanBlocks:
+    def test_respects_requested_blocks(self):
+        gpu = GpuDevice(GTX680)
+        plan = plan_blocks(
+            gpu,
+            ThreadLayout(compute_threads=128),
+            BufferConfig(data_buf_bytes=1 * MiB, addr_buf_entries=256, instances=2),
+            num_set_blocks=4,
+        )
+        assert plan.active_blocks == 4
+        assert plan.total_gpu_threads == 4 * 256
+
+    def test_hardware_bounds_active_blocks(self):
+        gpu = GpuDevice(GTX680)
+        plan = plan_blocks(
+            gpu,
+            ThreadLayout(compute_threads=512),  # 1024 threads/block
+            BufferConfig(data_buf_bytes=1 * MiB, addr_buf_entries=256, instances=2),
+            num_set_blocks=1000,
+        )
+        # 2048 threads per SM / 1024 per block = 2 blocks per SM * 8 SMs
+        assert plan.active_blocks == 16
+
+    def test_zero_requested_rejected(self):
+        gpu = GpuDevice(GTX680)
+        with pytest.raises(RuntimeConfigError):
+            plan_blocks(
+                gpu,
+                ThreadLayout(compute_threads=32),
+                BufferConfig(data_buf_bytes=1, addr_buf_entries=1, instances=2),
+                num_set_blocks=0,
+            )

@@ -1,0 +1,138 @@
+"""Tests for the per-block high-fidelity pipeline mode."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import RuntimeConfigError
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import (
+    STAGE_ASSEMBLY,
+    STAGE_COMPUTE,
+    ChunkWork,
+    PipelineConfig,
+    run_pipeline,
+    run_pipeline_per_block,
+)
+from repro.units import KiB, MiB
+
+HW = DEFAULT_HARDWARE
+
+
+def block_chunks(n_blocks, n_chunks, t_ag=5e-5, t_asm=2e-4, xfer=256 * KiB, t_comp=1e-4):
+    return [
+        [
+            ChunkWork(
+                index=i,
+                t_addr_gen=t_ag,
+                addr_bytes_d2h=0,
+                t_assembly=t_asm,
+                xfer_bytes=xfer,
+                t_compute=t_comp,
+            )
+            for i in range(n_chunks)
+        ]
+        for _ in range(n_blocks)
+    ]
+
+
+class TestPerBlockMode:
+    def test_runs_and_accounts_chunks(self):
+        res = run_pipeline_per_block(HW, block_chunks(4, 5))
+        assert res.n_chunks == 20
+        assert res.total_time > 0
+
+    def test_blocks_progress_concurrently(self):
+        """4 blocks' assembly on 8 CPU threads: far faster than serial."""
+        one = run_pipeline_per_block(HW, block_chunks(1, 6), cpu_threads=8)
+        four = run_pipeline_per_block(HW, block_chunks(4, 6), cpu_threads=8)
+        # 4x the work in much less than 4x the time
+        assert four.total_time < one.total_time * 2.5
+
+    def test_cpu_contention_emerges(self):
+        """16 assembly-bound blocks on 2 CPU threads serialize; on 16
+        threads they parallelize."""
+        chunks = block_chunks(16, 4, t_asm=5e-4, t_comp=1e-5, xfer=4 * KiB)
+        starved = run_pipeline_per_block(HW, chunks, cpu_threads=2)
+        fed = run_pipeline_per_block(HW, chunks, cpu_threads=16)
+        assert starved.total_time > fed.total_time * 2.5
+
+    def test_link_contention_emerges(self):
+        """Transfer-bound blocks share the one FIFO link: total transfer
+        time grows linearly with block count."""
+        one = run_pipeline_per_block(
+            HW, block_chunks(1, 4, t_asm=1e-6, t_comp=1e-6, xfer=4 * MiB)
+        )
+        four = run_pipeline_per_block(
+            HW, block_chunks(4, 4, t_asm=1e-6, t_comp=1e-6, xfer=4 * MiB)
+        )
+        assert four.total_time == pytest.approx(4 * one.total_time, rel=0.15)
+
+    def test_trace_tags_blocks(self):
+        res = run_pipeline_per_block(HW, block_chunks(3, 2))
+        blocks_seen = {
+            iv.meta.get("block")
+            for iv in res.trace.by_label(STAGE_COMPUTE)
+        }
+        assert blocks_seen == {0, 1, 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuntimeConfigError):
+            run_pipeline_per_block(HW, [])
+        with pytest.raises(RuntimeConfigError):
+            run_pipeline_per_block(HW, [[], []])
+
+    def test_ragged_blocks_allowed(self):
+        blocks = block_chunks(2, 3)
+        blocks.append([])  # a retired block with no work
+        res = run_pipeline_per_block(HW, blocks)
+        assert res.n_chunks == 6
+
+
+class TestAggregateAgreement:
+    """The aggregate model (stage times pre-divided, DMA latency folded
+    into segments) should closely track the per-block simulation on
+    homogeneous workloads — the validation that justifies using the
+    cheaper mode everywhere."""
+
+    @given(
+        n_blocks=st.sampled_from([2, 4, 8]),
+        n_chunks=st.integers(3, 8),
+        asm_us=st.integers(50, 500),
+        comp_us=st.integers(50, 500),
+        xfer_kib=st.sampled_from([64, 256, 1024]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_models_agree_within_tolerance(
+        self, n_blocks, n_chunks, asm_us, comp_us, xfer_kib
+    ):
+        t_asm = asm_us * 1e-6
+        t_comp = comp_us * 1e-6
+        xfer = xfer_kib * KiB
+        workers = min(n_blocks, 8)
+
+        detailed = run_pipeline_per_block(
+            HW,
+            block_chunks(
+                n_blocks, n_chunks, t_ag=1e-5, t_asm=t_asm, xfer=xfer, t_comp=t_comp
+            ),
+            cpu_threads=8,
+        )
+        # aggregate: one chunk = all blocks' chunk k together
+        agg_chunks = [
+            ChunkWork(
+                index=i,
+                t_addr_gen=1e-5,
+                addr_bytes_d2h=0,
+                t_assembly=t_asm * n_blocks / workers,
+                xfer_bytes=xfer * n_blocks,
+                t_compute=t_comp,  # blocks compute concurrently on the GPU
+                xfer_segments=n_blocks,
+            )
+            for i in range(n_chunks)
+        ]
+        aggregate = run_pipeline(HW, agg_chunks, PipelineConfig(cpu_workers=2))
+        ratio = aggregate.total_time / detailed.total_time
+        assert 0.5 < ratio < 2.0, (
+            f"models diverge: aggregate {aggregate.total_time:.6f}s vs "
+            f"per-block {detailed.total_time:.6f}s"
+        )

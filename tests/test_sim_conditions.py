@@ -1,0 +1,123 @@
+"""Additional engine-core coverage: composite-event failure propagation,
+urgent scheduling, and mixed waits."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment
+from repro.sim.core import URGENT, NORMAL
+
+
+class TestConditionFailures:
+    def test_all_of_fails_when_member_fails(self):
+        env = Environment()
+        caught = []
+
+        def failer(env):
+            yield env.timeout(1.0)
+            raise ValueError("member died")
+
+        def waiter(env):
+            p = env.process(failer(env))
+            t = env.timeout(5.0)
+            try:
+                yield env.all_of([p, t])
+            except ValueError as e:
+                caught.append((env.now, str(e)))
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == [(1.0, "member died")]
+
+    def test_any_of_fails_when_first_outcome_is_failure(self):
+        env = Environment()
+        caught = []
+
+        def failer(env):
+            yield env.timeout(1.0)
+            raise RuntimeError("fast failure")
+
+        def waiter(env):
+            p = env.process(failer(env))
+            t = env.timeout(5.0)
+            try:
+                yield env.any_of([p, t])
+            except RuntimeError:
+                caught.append(env.now)
+
+        env.process(waiter(env))
+        env.run()
+        assert caught == [1.0]
+
+    def test_any_of_success_shadows_later_failure(self):
+        """If a success fires first, a later member failure that a process
+        joins on separately is still catchable."""
+        env = Environment()
+        results = []
+
+        def failer(env):
+            yield env.timeout(5.0)
+            raise RuntimeError("slow failure")
+
+        def waiter(env):
+            p = env.process(failer(env))
+            t = env.timeout(1.0, value="fast")
+            got = yield env.any_of([p, t])
+            results.append(list(got.values()))
+            try:
+                yield p
+            except RuntimeError:
+                results.append("late failure observed")
+
+        env.process(waiter(env))
+        env.run()
+        assert results == [["fast"], "late failure observed"]
+
+    def test_condition_events_must_share_environment(self):
+        env1, env2 = Environment(), Environment()
+        t1 = env1.timeout(1.0)
+        t2 = env2.timeout(1.0)
+        with pytest.raises(SimulationError):
+            env1.all_of([t1, t2])
+
+
+class TestScheduling:
+    def test_urgent_fires_before_normal_at_same_time(self):
+        env = Environment()
+        order = []
+        e_normal = env.event()
+        e_urgent = env.event()
+        e_normal.callbacks.append(lambda ev: order.append("normal"))
+        e_urgent.callbacks.append(lambda ev: order.append("urgent"))
+        # schedule normal FIRST, urgent second — urgent still wins the tie
+        e_normal._ok = True
+        e_normal._value = None
+        env.schedule(e_normal, delay=1.0, priority=NORMAL)
+        e_urgent._ok = True
+        e_urgent._value = None
+        env.schedule(e_urgent, delay=1.0, priority=URGENT)
+        env.run()
+        assert order == ["urgent", "normal"]
+
+    def test_peek_reports_next_event_time(self):
+        env = Environment()
+        env.timeout(3.0)
+        env.timeout(1.0)
+        assert env.peek() == 1.0
+
+    def test_peek_empty_queue_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_active_process_visible_during_resume(self):
+        env = Environment()
+        seen = []
+
+        def p(env):
+            seen.append(env.active_process)
+            yield env.timeout(1.0)
+            seen.append(env.active_process)
+
+        proc = env.process(p(env))
+        env.run()
+        assert seen == [proc, proc]
+        assert env.active_process is None

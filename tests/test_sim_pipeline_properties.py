@@ -1,0 +1,160 @@
+"""Property-based tests of the pipeline scheduler over random workloads."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import (
+    FORWARD_STAGES,
+    STAGE_ADDR_GEN,
+    STAGE_ASSEMBLY,
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    ChunkWork,
+    PipelineConfig,
+    run_pipeline,
+)
+
+HW = DEFAULT_HARDWARE
+
+chunk_strategy = st.builds(
+    lambda i, ag, asm, xfer, comp, wb, sc: ChunkWork(
+        index=i,
+        t_addr_gen=ag * 1e-4,
+        addr_bytes_d2h=0,
+        t_assembly=asm * 1e-4,
+        xfer_bytes=xfer * 1024,
+        t_compute=comp * 1e-4,
+        write_bytes=wb * 1024,
+        t_scatter=sc * 1e-5,
+    ),
+    st.just(0),
+    st.integers(0, 10),
+    st.integers(0, 10),
+    st.integers(1, 2048),
+    st.integers(0, 10),
+    st.integers(0, 64),
+    st.integers(0, 10),
+)
+
+
+def reindex(chunks):
+    return [
+        ChunkWork(
+            index=i,
+            t_addr_gen=c.t_addr_gen,
+            addr_bytes_d2h=c.addr_bytes_d2h,
+            t_assembly=c.t_assembly,
+            xfer_bytes=c.xfer_bytes,
+            t_compute=c.t_compute,
+            write_bytes=c.write_bytes,
+            t_scatter=c.t_scatter,
+        )
+        for i, c in enumerate(chunks)
+    ]
+
+
+def serial_upper_bound(chunks):
+    """Sum of all stage durations plus transfers, fully serialized."""
+    total = 0.0
+    for c in chunks:
+        total += c.t_addr_gen + c.t_assembly + c.t_compute + c.t_scatter
+        total += HW.pcie.transfer_time(c.xfer_bytes)
+        total += HW.pcie.transfer_time(4)  # flag
+        if c.addr_bytes_d2h:
+            total += HW.pcie.transfer_time(c.addr_bytes_d2h)
+        if c.write_bytes:
+            total += HW.pcie.transfer_time(c.write_bytes)
+    return total
+
+
+@given(chunks=st.lists(chunk_strategy, min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_pipeline_bounds(chunks):
+    """bottleneck-stage total <= makespan <= serialized sum."""
+    chunks = reindex(chunks)
+    res = run_pipeline(HW, chunks, PipelineConfig(ring_depth=3, cpu_workers=2))
+    lower = max(
+        sum(c.t_addr_gen for c in chunks),
+        sum(c.t_assembly for c in chunks),
+        sum(c.t_compute for c in chunks),
+        sum(HW.pcie.transfer_time(c.xfer_bytes) for c in chunks),
+    )
+    assert res.total_time >= lower - 1e-12
+    assert res.total_time <= serial_upper_bound(chunks) + 1e-9
+
+
+@given(chunks=st.lists(chunk_strategy, min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_stage_totals_conserved(chunks):
+    """Each stage's busy total equals the sum of its chunk durations."""
+    chunks = reindex(chunks)
+    res = run_pipeline(HW, chunks)
+    assert res.stage_totals.get(STAGE_ADDR_GEN, 0.0) == pytest.approx(
+        sum(c.t_addr_gen for c in chunks), abs=1e-12
+    )
+    assert res.stage_totals.get(STAGE_ASSEMBLY, 0.0) == pytest.approx(
+        sum(c.t_assembly for c in chunks), abs=1e-12
+    )
+    assert res.stage_totals.get(STAGE_COMPUTE, 0.0) == pytest.approx(
+        sum(c.t_compute for c in chunks), abs=1e-12
+    )
+
+
+@given(chunks=st.lists(chunk_strategy, min_size=2, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_deeper_ring_never_slower(chunks):
+    chunks = reindex(chunks)
+    shallow = run_pipeline(HW, chunks, PipelineConfig(ring_depth=2))
+    deep = run_pipeline(HW, chunks, PipelineConfig(ring_depth=8))
+    assert deep.total_time <= shallow.total_time + 1e-9
+
+
+@given(chunks=st.lists(chunk_strategy, min_size=2, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_more_cpu_workers_never_slower(chunks):
+    chunks = reindex(chunks)
+    one = run_pipeline(HW, chunks, PipelineConfig(cpu_workers=1))
+    four = run_pipeline(HW, chunks, PipelineConfig(cpu_workers=4))
+    assert four.total_time <= one.total_time + 1e-9
+
+
+@given(chunks=st.lists(chunk_strategy, min_size=1, max_size=10))
+@settings(max_examples=40, deadline=None)
+def test_stage_order_per_chunk(chunks):
+    """For every chunk: addr_gen ends before assembly starts, assembly
+    before its transfer, transfer before compute."""
+    chunks = reindex(chunks)
+    res = run_pipeline(HW, chunks)
+    by_chunk = {}
+    for iv in res.trace:
+        if iv.label in FORWARD_STAGES or iv.label == STAGE_TRANSFER:
+            by_chunk.setdefault(iv.meta.get("chunk"), {})[iv.label] = iv
+    for idx, stages in by_chunk.items():
+        if idx is None:
+            continue
+        if STAGE_ADDR_GEN in stages and STAGE_ASSEMBLY in stages:
+            assert stages[STAGE_ADDR_GEN].end <= stages[STAGE_ASSEMBLY].start + 1e-12
+        if STAGE_ASSEMBLY in stages and STAGE_TRANSFER in stages:
+            assert stages[STAGE_ASSEMBLY].end <= stages[STAGE_TRANSFER].start + 1e-12
+        if STAGE_TRANSFER in stages and STAGE_COMPUTE in stages:
+            assert stages[STAGE_TRANSFER].end <= stages[STAGE_COMPUTE].start + 1e-12
+
+
+@given(
+    chunks=st.lists(chunk_strategy, min_size=2, max_size=8),
+    depth=st.integers(2, 4),
+)
+@settings(max_examples=40, deadline=None)
+def test_ring_lookahead_invariant(chunks, depth):
+    """addr_gen(k) never starts before compute(k - depth) has finished."""
+    chunks = reindex(chunks)
+    res = run_pipeline(HW, chunks, PipelineConfig(ring_depth=depth))
+    ag_start = {
+        iv.meta["chunk"]: iv.start for iv in res.trace.by_label(STAGE_ADDR_GEN)
+    }
+    comp_end = {
+        iv.meta["chunk"]: iv.end for iv in res.trace.by_label(STAGE_COMPUTE)
+    }
+    for k in range(depth, len(chunks)):
+        assert ag_start[k] >= comp_end[k - depth] - 1e-12
