@@ -30,6 +30,8 @@ class BenchSettings:
     config: EngineConfig = field(default_factory=lambda: EngineConfig(chunk_bytes=2 * MiB))
     #: cross-check every engine's output against the serial reference
     validate: bool = True
+    #: run the trace invariant checkers (repro.verify) on every traced run
+    check_invariants: bool = False
 
 
 @dataclass
@@ -83,6 +85,15 @@ def run_matrix(
                     f"{engine.name} output differs from {reference.engine} "
                     f"on {app.name}"
                 )
+            if settings.check_invariants and res.trace is not None:
+                from repro.verify.invariants import verify_run
+
+                report = verify_run(res, settings.config)
+                if not report.ok:
+                    raise ValidationFailure(
+                        f"{engine.name} timeline on {app.name} violates "
+                        f"pipeline invariants:\n{report.summary()}"
+                    )
     return Matrix(
         results=results,
         apps=tuple(a.name for a in apps),

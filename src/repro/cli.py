@@ -7,7 +7,9 @@ Commands mirror the library's surfaces:
 * ``fig4a`` / ``fig4b`` / ``fig5`` / ``fig6`` / ``table1`` / ``table2`` —
   regenerate one paper artifact;
 * ``hw`` — print the simulated testbed;
-* ``trace`` — run BigKernel on an app and dump a Chrome-trace timeline.
+* ``trace`` — run BigKernel on an app and dump a Chrome-trace timeline;
+* ``verify`` — invariant + differential + fuzz verification sweep
+  (see ``docs/verification.md``); exits nonzero on any violation.
 """
 
 from __future__ import annotations
@@ -146,6 +148,19 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def cmd_verify(args) -> int:
+    from repro.verify import run_verify
+
+    summary = run_verify(
+        quick=args.quick,
+        seed=args.seed,
+        data_bytes=args.data_mib * MiB if args.data_mib else None,
+        fuzz_iterations=args.fuzz_iters,
+    )
+    print(summary.summary())
+    return 0 if summary.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -173,6 +188,18 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         _add_common(p)
 
+    p_v = sub.add_parser(
+        "verify",
+        help="run the invariant + differential + fuzz verification suites",
+    )
+    p_v.add_argument("--quick", action="store_true",
+                     help="CI scale: smaller datasets, fewer fuzz cases")
+    p_v.add_argument("--seed", type=int, default=7, help="verification seed")
+    p_v.add_argument("--data-mib", type=int, default=0,
+                     help="dataset size (MiB); 0 = suite default")
+    p_v.add_argument("--fuzz-iters", type=int, default=None,
+                     help="fuzz cases per loop (default: 8 quick / 30 full)")
+
     p_tr = sub.add_parser("trace", help="dump a BigKernel Chrome-trace timeline")
     p_tr.add_argument("app")
     p_tr.add_argument("--out", default="bigkernel_trace.json")
@@ -190,6 +217,7 @@ def main(argv=None) -> int:
         "run": cmd_run,
         "hw": cmd_hw,
         "trace": cmd_trace,
+        "verify": cmd_verify,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,
         "fig5": cmd_figure,

@@ -80,5 +80,9 @@ class ApplicationError(ReproError):
     """Errors raised by the benchmark applications."""
 
 
+class VerificationError(ReproError):
+    """A simulated timeline or differential run violated a checked law."""
+
+
 class ValidationFailure(ReproError):
     """An engine produced output that does not match the CPU reference."""

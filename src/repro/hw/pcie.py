@@ -156,6 +156,9 @@ class DmaEngine:
                 pinned=True,
                 label=f"{label}-flag",
                 completion_flag=flag,
+                # carry the data DMA's identity (chunk/block) so trace
+                # checkers can pair each flag with the transfer it chases
+                meta=dict(meta),
             )
         )
         return data_done

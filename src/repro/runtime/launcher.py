@@ -287,13 +287,74 @@ def bigkernel_launch(
     config: Optional[EngineConfig] = None,
     spec: Optional[LaunchSpec] = None,
     engine: Optional[BigKernelEngine] = None,
+    verify: bool = False,
 ) -> RunResult:
     """Compile, characterize, and run ``kernel`` over the mapped data.
 
     Returns the engine's :class:`RunResult`: functional output (the
     resident state, or ``spec.make_output``'s extraction) plus the
     simulated time, metrics and pipeline trace.
+
+    With ``verify=True`` the launch is double-checked after the run: the
+    pipeline timeline goes through the trace invariant checkers and the
+    output is diffed against a serial-oracle execution of the same kernel
+    (:mod:`repro.verify`); a :class:`~repro.errors.VerificationError` is
+    raised on any divergence.
     """
     app = KernelApplication(kernel, registry, resident, params, device_fns, spec)
     eng = engine or BigKernelEngine()
-    return eng.run(app, app.data, config or EngineConfig())
+    cfg = config or EngineConfig()
+    if not verify:
+        return eng.run(app, app.data, cfg)
+
+    from repro.engines.cpu_serial import CpuSerialEngine
+    from repro.errors import VerificationError
+    from repro.verify.invariants import verify_run
+
+    # the interpreter mutates the mapped/resident arrays in place, so the
+    # oracle must replay from the pre-launch state and the engine's final
+    # state must win afterwards
+    pre = _snapshot_state(app)
+    result = eng.run(app, app.data, cfg)
+    verify_run(result, cfg).raise_if_failed()
+    post = _snapshot_state(app)
+    _restore_state(app, pre)
+    oracle = CpuSerialEngine().run(app, app.data, cfg)
+    oracle_post = _snapshot_state(app)
+    _restore_state(app, post)
+    if not app.outputs_equal(oracle.output, result.output):
+        raise VerificationError(
+            f"launch of {kernel.name!r}: {eng.name} output diverged from "
+            f"the serial oracle"
+        )
+    if not np.array_equal(
+        post[0].view(np.uint8), oracle_post[0].view(np.uint8)
+    ):
+        raise VerificationError(
+            f"launch of {kernel.name!r}: mapped write-back diverged from "
+            f"the serial oracle"
+        )
+    return result
+
+
+def _snapshot_state(app: KernelApplication) -> tuple:
+    """Copy of the launch's mutable state (mapped bytes + resident)."""
+    data = app.data
+    return (
+        data.mapped[app.primary_name].copy(),
+        {
+            k: np.copy(v) if isinstance(v, np.ndarray) else v
+            for k, v in data.resident.items()
+        },
+    )
+
+
+def _restore_state(app: KernelApplication, snapshot: tuple) -> None:
+    data = app.data
+    host, resident = snapshot
+    np.copyto(data.mapped[app.primary_name], host)
+    for k, v in resident.items():
+        if isinstance(v, np.ndarray):
+            np.copyto(data.resident[k], v)
+        else:
+            data.resident[k] = v

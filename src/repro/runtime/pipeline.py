@@ -279,6 +279,7 @@ def run_pipeline(
     chunks: list[ChunkWork],
     config: PipelineConfig = PipelineConfig(),
     trace: Optional[TraceRecorder] = None,
+    verify: bool = False,
 ) -> PipelineResult:
     """Simulate the full pipeline over ``chunks``; returns the timeline.
 
@@ -286,6 +287,10 @@ def run_pipeline(
     homogeneous thread blocks into these); stage durations already account
     for intra-stage parallelism. What this function adds is the *overlap
     structure* and the shared-resource contention.
+
+    With ``verify=True`` the resulting timeline is run through the trace
+    invariant checkers (:mod:`repro.verify.invariants`) and a
+    :class:`~repro.errors.VerificationError` is raised on any violation.
     """
     if not chunks:
         raise RuntimeConfigError("pipeline needs at least one chunk")
@@ -297,7 +302,20 @@ def run_pipeline(
     cpu = Resource(env, capacity=config.cpu_workers, name="cpu")
     _spawn_block_processes(env, link, dma, gpu, cpu, chunks, config, trace)
     env.run()
-    return _collect_result(env, link, trace, len(chunks))
+    result = _collect_result(env, link, trace, len(chunks))
+    if verify:
+        from repro.verify.invariants import verify_pipeline_trace
+
+        verify_pipeline_trace(
+            trace,
+            gpu_capacity=2,
+            cpu_workers=config.cpu_workers,
+            ring_depth=config.ring_depth,
+            chunks=chunks,
+            bytes_h2d=result.bytes_h2d,
+            bytes_d2h=result.bytes_d2h,
+        ).raise_if_failed()
+    return result
 
 
 def run_pipeline_per_block(
@@ -306,6 +324,7 @@ def run_pipeline_per_block(
     config: PipelineConfig = PipelineConfig(),
     cpu_threads: int = 8,
     trace: Optional[TraceRecorder] = None,
+    verify: bool = False,
 ) -> PipelineResult:
     """High-fidelity mode: one full pipeline per thread block.
 
@@ -337,6 +356,18 @@ def run_pipeline_per_block(
                 env, link, dma, gpu, cpu, chunks, config, trace, block=b
             )
     env.run()
-    return _collect_result(
+    result = _collect_result(
         env, link, trace, sum(len(c) for c in block_chunks)
     )
+    if verify:
+        from repro.verify.invariants import verify_pipeline_trace
+
+        verify_pipeline_trace(
+            trace,
+            gpu_capacity=2 * len(block_chunks),
+            cpu_workers=cpu_threads,
+            ring_depth=config.ring_depth,
+            bytes_h2d=result.bytes_h2d,
+            bytes_d2h=result.bytes_d2h,
+        ).raise_if_failed()
+    return result

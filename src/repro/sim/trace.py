@@ -27,7 +27,22 @@ class Interval:
         return self.end - self.start
 
     def overlaps(self, other: "Interval") -> bool:
-        """True if the two intervals share simulated time."""
+        """True if the two intervals share simulated time.
+
+        Intervals are half-open ``[start, end)``: an interval ending at *t*
+        does not overlap one starting at *t*. Zero-duration intervals
+        (instant events such as flag writes) are treated as points — a
+        point at *t* overlaps any interval whose half-open span contains
+        *t*, and two points overlap only when they coincide. Without this
+        rule an instant event could never overlap anything, so capacity
+        checkers would silently ignore it.
+        """
+        if self.start == self.end and other.start == other.end:
+            return self.start == other.start
+        if self.start == self.end:
+            return other.start <= self.start < other.end
+        if other.start == other.end:
+            return self.start <= other.start < self.end
         return self.start < other.end and other.start < self.end
 
 

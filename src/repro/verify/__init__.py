@@ -1,0 +1,59 @@
+"""Invariant-checking & differential verification (the safety net).
+
+Three pillars, each usable on its own:
+
+* :mod:`repro.verify.invariants` — physical-law checkers over pipeline
+  timelines (capacity, causality, backpressure, byte conservation);
+* :mod:`repro.verify.differential` — every engine vs the serial CPU
+  oracle, bit-for-bit, with a structured mismatch report;
+* :mod:`repro.verify.fuzz` — seeded random IR programs and pipeline
+  schedules through the compiler round trip and the invariant checkers.
+
+``python -m repro verify`` (see :mod:`repro.verify.runner`) runs all
+three and exits nonzero on any violation. Opt-in hooks:
+``run_pipeline(..., verify=True)``, ``bigkernel_launch(..., verify=True)``
+and ``BenchSettings(check_invariants=True)``.
+"""
+
+from repro.verify.differential import (
+    DiffEntry,
+    DifferentialReport,
+    run_differential,
+)
+from repro.verify.fuzz import FuzzFailure, FuzzReport, run_fuzz
+from repro.verify.invariants import (
+    InvariantReport,
+    Violation,
+    check_backpressure,
+    check_byte_conservation,
+    check_compute_after_transfer,
+    check_flag_after_data,
+    check_pcie_serialization,
+    check_stage_order,
+    check_track_capacity,
+    verify_pipeline_trace,
+    verify_run,
+)
+from repro.verify.runner import VerifySummary, run_verify
+
+__all__ = [
+    "Violation",
+    "InvariantReport",
+    "check_track_capacity",
+    "check_pcie_serialization",
+    "check_flag_after_data",
+    "check_compute_after_transfer",
+    "check_stage_order",
+    "check_backpressure",
+    "check_byte_conservation",
+    "verify_pipeline_trace",
+    "verify_run",
+    "DiffEntry",
+    "DifferentialReport",
+    "run_differential",
+    "FuzzFailure",
+    "FuzzReport",
+    "run_fuzz",
+    "VerifySummary",
+    "run_verify",
+]

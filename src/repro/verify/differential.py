@@ -1,0 +1,147 @@
+"""Differential oracle: every engine must reproduce the serial CPU output.
+
+All five execution schemes share one functional semantics (the chunked
+kernel path); they differ only in *when* data moves and *what* the timeline
+charges. The single-threaded :class:`~repro.engines.cpu_serial.CpuSerialEngine`
+is therefore a trusted oracle: it has no pipeline, no buffers, no overlap —
+nothing that a scheduling bug could corrupt. This module runs the full
+app × engine matrix against that oracle, compares outputs bit-for-bit
+(via each app's ``outputs_equal``, which is exact equality for integer
+outputs and tight-tolerance comparison for accumulated floats), and
+invariant-checks every BigKernel timeline on the side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.apps import ALL_APPS
+from repro.engines import ALL_ENGINES, CpuSerialEngine, EngineConfig
+from repro.errors import VerificationError
+from repro.units import MiB
+from repro.verify.invariants import InvariantReport, verify_run
+
+ORACLE = CpuSerialEngine.name
+
+
+def describe_output(value) -> str:
+    """Short structural description of an engine output, for mismatch
+    reports."""
+    if isinstance(value, np.ndarray):
+        return f"ndarray{value.shape} dtype={value.dtype}"
+    if isinstance(value, dict):
+        keys = ", ".join(sorted(map(str, value))[:6])
+        return f"dict({len(value)}: {keys}{'...' if len(value) > 6 else ''})"
+    if isinstance(value, (list, tuple)):
+        return f"{type(value).__name__}(len={len(value)})"
+    return f"{type(value).__name__}={value!r:.60}"
+
+
+@dataclass
+class DiffEntry:
+    """One (app, engine) cell of the differential matrix."""
+
+    app: str
+    engine: str
+    ok: bool
+    detail: str = ""
+    sim_time: float = 0.0
+    invariants: Optional[InvariantReport] = None
+
+
+@dataclass
+class DifferentialReport:
+    """Structured outcome of one oracle sweep."""
+
+    oracle: str = ORACLE
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> list[DiffEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        lines = [
+            f"differential vs {self.oracle}: {len(self.entries)} cells, "
+            f"{len(self.mismatches)} mismatch(es)"
+        ]
+        for e in self.entries:
+            status = "ok" if e.ok else "MISMATCH"
+            line = f"  {e.app:12s} x {e.engine:12s} {status}"
+            if e.detail:
+                line += f" — {e.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(f"({e.app}, {e.engine})" for e in self.mismatches)
+            raise VerificationError(
+                f"differential mismatch in {named}\n{self.summary()}"
+            )
+
+
+def compare_outputs(app, reference, candidate) -> tuple[bool, str]:
+    """(equal?, detail) for one engine output against the oracle's."""
+    if app.outputs_equal(reference, candidate):
+        return True, ""
+    return False, (
+        f"oracle={describe_output(reference)} vs "
+        f"engine={describe_output(candidate)}"
+    )
+
+
+def run_differential(
+    data_bytes: int = 2 * MiB,
+    seed: int = 7,
+    config: Optional[EngineConfig] = None,
+    apps: Optional[Iterable] = None,
+    engines: Optional[Iterable] = None,
+    check_invariants: bool = True,
+) -> DifferentialReport:
+    """Run every engine on every app and diff against the serial oracle.
+
+    ``apps``/``engines`` accept instances (defaults: all six apps, all five
+    schemes). BigKernel timelines additionally pass through the invariant
+    checkers when ``check_invariants`` is set; a violated timeline marks
+    the cell as a mismatch even if the output agreed.
+    """
+    config = config or EngineConfig(chunk_bytes=512 * 1024)
+    apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
+    engines = (
+        list(engines) if engines is not None else [cls() for cls in ALL_ENGINES]
+    )
+    oracle = next((e for e in engines if e.name == ORACLE), None)
+    if oracle is None:
+        oracle = CpuSerialEngine()
+        engines = [oracle] + engines
+
+    report = DifferentialReport()
+    for app in apps:
+        data = app.generate(n_bytes=data_bytes, seed=seed)
+        ref = oracle.run(app, data, config)
+        report.entries.append(
+            DiffEntry(app.name, oracle.name, True, sim_time=ref.sim_time)
+        )
+        for engine in engines:
+            if engine is oracle:
+                continue
+            res = engine.run(app, data, config)
+            ok, detail = compare_outputs(app, ref.output, res.output)
+            inv = None
+            if check_invariants and engine.name == "bigkernel":
+                inv = verify_run(res, config)
+                if not inv.ok:
+                    ok = False
+                    detail = (detail + "; " if detail else "") + inv.summary()
+            report.entries.append(
+                DiffEntry(app.name, engine.name, ok, detail, res.sim_time, inv)
+            )
+    return report

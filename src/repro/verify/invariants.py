@@ -1,0 +1,475 @@
+"""Trace invariant checkers: the physical laws a pipeline timeline must obey.
+
+The simulator's whole claim to fidelity is that its timelines are ones real
+hardware could have produced. These checkers consume a
+:class:`~repro.sim.trace.TraceRecorder` and mechanically assert the laws the
+BigKernel design relies on:
+
+* **Capacity** — the GPU runs at most two concurrent stage intervals (one
+  addr-gen warp group, one compute warp group), the CPU at most
+  ``cpu_workers``, and each PCIe direction is a single FIFO DMA engine
+  (overlap across the two directions is the full-duplex property and is
+  allowed; overlap within one direction is impossible hardware).
+* **Causality** — a completion-flag write lands strictly after the data DMA
+  it chases (the in-order trick of Section IV-C); computation of a chunk
+  never starts before that chunk's transfer has fully landed; the four
+  forward stages of one chunk appear in pipeline order.
+* **Backpressure** — address generation of iteration *n* never starts
+  before computation of iteration *n − ring_depth* has finished (the
+  paper's barrier of *n* against *n − 3* for a depth-3 ring).
+* **Byte conservation** — every chunk's planned payload appears exactly
+  once on the host-to-device track with the planned byte count, and the
+  per-direction byte totals match the link's accounting.
+
+Every checker returns a list of :class:`Violation` records; the
+:func:`verify_pipeline_trace` entry point bundles them into an
+:class:`InvariantReport` that can summarize or raise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import VerificationError
+from repro.runtime.pipeline import (
+    FORWARD_STAGES,
+    STAGE_ADDR_GEN,
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    STAGE_WRITEBACK_XFER,
+    ChunkWork,
+)
+from repro.sim.trace import Interval, TraceRecorder
+
+PCIE_TRACKS = ("pcie-h2d", "pcie-d2h")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, anchored to the offending trace records."""
+
+    invariant: str  # e.g. "gpu-capacity", "flag-before-data"
+    message: str
+    time: float
+    intervals: tuple = ()
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] t={self.time:.6g}: {self.message}"
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one invariant sweep over a trace."""
+
+    checked: tuple[str, ...] = ()
+    violations: list[Violation] = field(default_factory=list)
+    n_intervals: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def extend(self, more: Sequence[Violation]) -> None:
+        self.violations.extend(more)
+
+    def summary(self) -> str:
+        head = (
+            f"{len(self.violations)} violation(s) over {self.n_intervals} "
+            f"interval(s); checked: {', '.join(self.checked)}"
+        )
+        lines = [head] + [f"  {v}" for v in self.violations[:50]]
+        if len(self.violations) > 50:
+            lines.append(f"  ... and {len(self.violations) - 50} more")
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.violations:
+            raise VerificationError(self.summary())
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _key(iv: Interval) -> tuple:
+    """(block, chunk) identity of an interval, from its meta."""
+    return (iv.meta.get("block"), iv.meta.get("chunk"))
+
+
+def _by_stage_chunk(trace: TraceRecorder) -> dict:
+    """{(block, chunk): {label: [intervals]}} for chunk-tagged records."""
+    out: dict = {}
+    for iv in trace:
+        if iv.meta.get("chunk") is None:
+            continue
+        out.setdefault(_key(iv), {}).setdefault(iv.label, []).append(iv)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# capacity laws
+# ---------------------------------------------------------------------------
+
+def check_track_capacity(
+    trace: TraceRecorder, track: str, capacity: int, invariant: Optional[str] = None
+) -> list[Violation]:
+    """No more than ``capacity`` concurrent intervals on ``track``.
+
+    Sweep-line over interval endpoints; at equal timestamps an ending
+    interval frees its slot before a starting one claims it (half-open
+    semantics). Zero-duration intervals occupy no time and are skipped.
+    """
+    invariant = invariant or f"{track}-capacity"
+    events = []  # (time, delta, interval); ends sort before starts
+    for iv in trace.by_track(track):
+        if iv.duration == 0:
+            continue
+        events.append((iv.start, 1, iv))
+        events.append((iv.end, -1, iv))
+    events.sort(key=lambda e: (e[0], e[1]))
+    violations = []
+    live: list[Interval] = []
+    for t, delta, iv in events:
+        if delta < 0:
+            live.remove(iv)
+            continue
+        live.append(iv)
+        if len(live) > capacity:
+            labels = ", ".join(
+                f"{x.label}{_key(x)}" for x in sorted(live, key=lambda x: x.start)
+            )
+            violations.append(
+                Violation(
+                    invariant,
+                    f"{len(live)} concurrent intervals on {track!r} "
+                    f"(capacity {capacity}): {labels}",
+                    t,
+                    tuple(live),
+                )
+            )
+    return violations
+
+
+def check_pcie_serialization(trace: TraceRecorder) -> list[Violation]:
+    """Each PCIe direction is one FIFO DMA engine: no intra-direction
+    overlap. Cross-direction overlap is the (allowed) full-duplex case."""
+    violations = []
+    for track in PCIE_TRACKS:
+        violations.extend(
+            check_track_capacity(trace, track, 1, invariant="pcie-serialization")
+        )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# causality laws
+# ---------------------------------------------------------------------------
+
+def check_flag_after_data(trace: TraceRecorder) -> list[Violation]:
+    """Every ``<label>-flag`` write starts at/after the end of the data DMA
+    it chases (same direction, same base label, same chunk identity)."""
+    violations = []
+    for track in PCIE_TRACKS:
+        ivs = trace.by_track(track)
+        data = {}
+        for iv in ivs:
+            if not iv.label.endswith("-flag") and iv.meta.get("chunk") is not None:
+                data[(iv.label, _key(iv))] = iv
+        for flag in ivs:
+            if not flag.label.endswith("-flag"):
+                continue
+            base = flag.label[: -len("-flag")]
+            src = data.get((base, _key(flag)))
+            if src is None:
+                if flag.meta.get("chunk") is not None:
+                    violations.append(
+                        Violation(
+                            "flag-before-data",
+                            f"flag {flag.label}{_key(flag)} on {track} has no "
+                            f"matching data transfer",
+                            flag.start,
+                            (flag,),
+                        )
+                    )
+                continue
+            if flag.start < src.end:
+                violations.append(
+                    Violation(
+                        "flag-before-data",
+                        f"flag for {base}{_key(flag)} starts at {flag.start:.6g} "
+                        f"before its data DMA ends at {src.end:.6g}",
+                        flag.start,
+                        (src, flag),
+                    )
+                )
+    return violations
+
+
+def check_compute_after_transfer(trace: TraceRecorder) -> list[Violation]:
+    """Computation of a chunk starts only after that chunk's prefetch
+    transfer has fully landed (the flag the GPU busy-waits on)."""
+    violations = []
+    for key, stages in _by_stage_chunk(trace).items():
+        transfers = stages.get(STAGE_TRANSFER, [])
+        for comp in stages.get(STAGE_COMPUTE, []):
+            for xfer in transfers:
+                if comp.start < xfer.end:
+                    violations.append(
+                        Violation(
+                            "compute-before-transfer",
+                            f"compute of chunk {key} starts at "
+                            f"{comp.start:.6g} before its transfer ends at "
+                            f"{xfer.end:.6g}",
+                            comp.start,
+                            (xfer, comp),
+                        )
+                    )
+    return violations
+
+
+def check_stage_order(trace: TraceRecorder) -> list[Violation]:
+    """Within one chunk the forward stages appear in pipeline order:
+    addr_gen ≤ assembly ≤ transfer ≤ compute (each stage's start is no
+    earlier than the previous stage's end)."""
+    violations = []
+    for key, stages in _by_stage_chunk(trace).items():
+        prev_label = None
+        prev_end = None
+        for label in FORWARD_STAGES:
+            ivs = stages.get(label)
+            if not ivs:
+                continue
+            start = min(iv.start for iv in ivs)
+            if prev_end is not None and start < prev_end:
+                violations.append(
+                    Violation(
+                        "stage-order",
+                        f"{label} of chunk {key} starts at {start:.6g} before "
+                        f"{prev_label} ends at {prev_end:.6g}",
+                        start,
+                        tuple(ivs),
+                    )
+                )
+            prev_label = label
+            prev_end = max(iv.end for iv in ivs)
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# backpressure law
+# ---------------------------------------------------------------------------
+
+def check_backpressure(trace: TraceRecorder, ring_depth: int) -> list[Violation]:
+    """No stage runs more than ``ring_depth`` iterations ahead.
+
+    The buffer ring has ``ring_depth`` instances, so address generation of
+    chunk *n* may not start before computation of chunk *n − ring_depth*
+    has released its buffer (per pipeline, i.e. per block tag).
+    """
+    if ring_depth < 1:
+        raise VerificationError(f"ring_depth must be positive, got {ring_depth}")
+    per_block: dict = {}
+    for iv in trace:
+        chunk = iv.meta.get("chunk")
+        if chunk is None or iv.label not in (STAGE_ADDR_GEN, STAGE_COMPUTE):
+            continue
+        per_block.setdefault(iv.meta.get("block"), {}).setdefault(
+            iv.label, {}
+        )[chunk] = iv
+    violations = []
+    for block, stages in per_block.items():
+        addr = stages.get(STAGE_ADDR_GEN, {})
+        comp = stages.get(STAGE_COMPUTE, {})
+        if not addr or not comp:
+            continue
+        base = min(addr)  # chunk indices need not start at 0
+        for n, ag in sorted(addr.items()):
+            pred = comp.get(n - ring_depth)
+            if n - base < ring_depth or pred is None:
+                continue
+            if ag.start < pred.end:
+                violations.append(
+                    Violation(
+                        "ring-backpressure",
+                        f"addr_gen of chunk {n} (block {block}) starts at "
+                        f"{ag.start:.6g} before compute of chunk "
+                        f"{n - ring_depth} ends at {pred.end:.6g} "
+                        f"(ring depth {ring_depth})",
+                        ag.start,
+                        (pred, ag),
+                    )
+                )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# byte conservation
+# ---------------------------------------------------------------------------
+
+def check_byte_conservation(
+    trace: TraceRecorder,
+    chunks: Optional[Sequence[ChunkWork]] = None,
+    bytes_h2d: Optional[int] = None,
+    bytes_d2h: Optional[int] = None,
+) -> list[Violation]:
+    """Assembly→transfer→compute moves exactly the planned bytes.
+
+    With ``chunks`` given, every chunk's ``xfer_bytes`` must appear exactly
+    once per pipeline on the h2d track (and the addr/write d2h totals must
+    match the plan). With link totals given, the per-track ``nbytes`` sums
+    must equal the link's own accounting.
+    """
+    violations = []
+    h2d_data = [
+        iv
+        for iv in trace.by_track("pcie-h2d")
+        if not iv.label.endswith("-flag")
+    ]
+    if chunks is not None:
+        seen: dict = {}
+        for iv in h2d_data:
+            if iv.label == STAGE_TRANSFER and iv.meta.get("chunk") is not None:
+                seen.setdefault(_key(iv), []).append(iv)
+        planned = {c.index: c for c in chunks}
+        blocks = {k[0] for k in seen} or {None}
+        for block in blocks:
+            for idx, chunk in planned.items():
+                ivs = seen.get((block, idx), [])
+                if len(ivs) != 1:
+                    violations.append(
+                        Violation(
+                            "byte-conservation",
+                            f"chunk {idx} (block {block}) has {len(ivs)} data "
+                            f"transfers, expected exactly 1",
+                            ivs[0].start if ivs else 0.0,
+                            tuple(ivs),
+                        )
+                    )
+                    continue
+                moved = ivs[0].meta.get("nbytes")
+                if moved != chunk.xfer_bytes:
+                    violations.append(
+                        Violation(
+                            "byte-conservation",
+                            f"chunk {idx} (block {block}) transferred {moved} "
+                            f"bytes, assembly produced {chunk.xfer_bytes}",
+                            ivs[0].start,
+                            (ivs[0],),
+                        )
+                    )
+        n_pipelines = len(blocks)
+        planned_addr = n_pipelines * sum(c.addr_bytes_d2h for c in chunks)
+        planned_write = n_pipelines * sum(c.write_bytes for c in chunks)
+        got_addr = sum(
+            iv.meta.get("nbytes", 0)
+            for iv in trace.by_track("pcie-d2h")
+            if iv.label == STAGE_ADDR_GEN
+        )
+        got_write = sum(
+            iv.meta.get("nbytes", 0)
+            for iv in trace.by_track("pcie-d2h")
+            if iv.label == STAGE_WRITEBACK_XFER
+        )
+        if got_addr != planned_addr:
+            violations.append(
+                Violation(
+                    "byte-conservation",
+                    f"address traffic d2h moved {got_addr} bytes, "
+                    f"plan says {planned_addr}",
+                    0.0,
+                )
+            )
+        if got_write != planned_write:
+            violations.append(
+                Violation(
+                    "byte-conservation",
+                    f"write-back traffic d2h moved {got_write} bytes, "
+                    f"plan says {planned_write}",
+                    0.0,
+                )
+            )
+    for direction, expected in (("pcie-h2d", bytes_h2d), ("pcie-d2h", bytes_d2h)):
+        if expected is None:
+            continue
+        moved = sum(iv.meta.get("nbytes", 0) for iv in trace.by_track(direction))
+        if moved != expected:
+            violations.append(
+                Violation(
+                    "byte-conservation",
+                    f"{direction} trace records {moved} bytes, link counted "
+                    f"{expected}",
+                    0.0,
+                )
+            )
+    return violations
+
+
+# ---------------------------------------------------------------------------
+# entry points
+# ---------------------------------------------------------------------------
+
+def verify_pipeline_trace(
+    trace: TraceRecorder,
+    gpu_capacity: int = 2,
+    cpu_workers: Optional[int] = None,
+    ring_depth: Optional[int] = None,
+    chunks: Optional[Sequence[ChunkWork]] = None,
+    bytes_h2d: Optional[int] = None,
+    bytes_d2h: Optional[int] = None,
+) -> InvariantReport:
+    """Run every applicable invariant checker over ``trace``.
+
+    ``cpu_workers``/``ring_depth``/``chunks``/byte totals are optional —
+    pass what the call site knows; the corresponding laws are skipped when
+    the ground truth is unavailable.
+    """
+    report = InvariantReport(n_intervals=len(trace))
+    checked = []
+
+    report.extend(check_track_capacity(trace, "gpu", gpu_capacity, "gpu-capacity"))
+    checked.append("gpu-capacity")
+    if cpu_workers is not None:
+        report.extend(
+            check_track_capacity(trace, "cpu", cpu_workers, "cpu-capacity")
+        )
+        checked.append("cpu-capacity")
+    report.extend(check_pcie_serialization(trace))
+    checked.append("pcie-serialization")
+    report.extend(check_flag_after_data(trace))
+    checked.append("flag-before-data")
+    report.extend(check_compute_after_transfer(trace))
+    checked.append("compute-before-transfer")
+    report.extend(check_stage_order(trace))
+    checked.append("stage-order")
+    if ring_depth is not None:
+        report.extend(check_backpressure(trace, ring_depth))
+        checked.append("ring-backpressure")
+    if chunks is not None or bytes_h2d is not None or bytes_d2h is not None:
+        report.extend(
+            check_byte_conservation(trace, chunks, bytes_h2d, bytes_d2h)
+        )
+        checked.append("byte-conservation")
+
+    report.checked = tuple(checked)
+    return report
+
+
+def verify_run(result, config=None) -> InvariantReport:
+    """Invariant-check one engine :class:`~repro.engines.base.RunResult`.
+
+    Applies the laws that hold for any aggregate-mode BigKernel run:
+    GPU capacity 2, PCIe serialization, causality, stage order, link-total
+    byte conservation, and — when ``config`` (an ``EngineConfig``) is
+    given — ring-depth backpressure. CPU capacity is skipped because the
+    engine pre-divides assembly times across workers.
+    """
+    if result.trace is None:
+        return InvariantReport(checked=("none: no trace",))
+    return verify_pipeline_trace(
+        result.trace,
+        gpu_capacity=2,
+        ring_depth=config.ring_depth if config is not None else None,
+        bytes_h2d=result.metrics.bytes_h2d,
+        bytes_d2h=result.metrics.bytes_d2h,
+    )

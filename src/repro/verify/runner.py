@@ -1,0 +1,121 @@
+"""Orchestration for ``python -m repro verify``: the three pillars in one
+pass/fail sweep.
+
+1. **Invariant suite** — run BigKernel (aggregate mode) on every app and
+   invariant-check each timeline; also one per-block high-fidelity run.
+2. **Differential suite** — every engine vs the serial oracle on every app.
+3. **Fuzz suite** — seeded random IR programs and pipeline schedules.
+
+``--quick`` shrinks the datasets and iteration counts to CI scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.apps import ALL_APPS
+from repro.engines import BigKernelEngine, EngineConfig
+from repro.runtime.pipeline import run_pipeline_per_block
+from repro.units import MiB
+from repro.verify.differential import DifferentialReport, run_differential
+from repro.verify.fuzz import FuzzReport, run_fuzz
+from repro.verify.invariants import (
+    InvariantReport,
+    verify_pipeline_trace,
+    verify_run,
+)
+
+
+@dataclass
+class VerifySummary:
+    """Combined outcome of one verification sweep."""
+
+    invariant_reports: dict = field(default_factory=dict)  # name -> report
+    differential: Optional[DifferentialReport] = None
+    fuzz: Optional[FuzzReport] = None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            all(r.ok for r in self.invariant_reports.values())
+            and (self.differential is None or self.differential.ok)
+            and (self.fuzz is None or self.fuzz.ok)
+        )
+
+    def summary(self) -> str:
+        lines = []
+        bad_inv = [n for n, r in self.invariant_reports.items() if not r.ok]
+        lines.append(
+            f"invariants: {len(self.invariant_reports)} timeline(s) checked, "
+            f"{len(bad_inv)} violated"
+        )
+        for name in bad_inv:
+            lines.append(f"  {name}:")
+            lines.extend(
+                "  " + ln for ln in self.invariant_reports[name].summary().splitlines()
+            )
+        if self.differential is not None:
+            lines.append(self.differential.summary())
+        if self.fuzz is not None:
+            lines.append(self.fuzz.summary())
+        lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+
+def run_verify(
+    quick: bool = False,
+    seed: int = 7,
+    data_bytes: Optional[int] = None,
+    fuzz_iterations: Optional[int] = None,
+    emit: Callable[[str], None] = print,
+) -> VerifySummary:
+    """Run the full verification sweep; ``emit`` narrates progress."""
+    data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
+    fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
+    config = EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
+    summary = VerifySummary()
+
+    emit(f"[1/3] invariant suite: BigKernel timelines over {len(ALL_APPS)} apps")
+    engine = BigKernelEngine()
+    for cls in ALL_APPS:
+        app = cls()
+        data = app.generate(n_bytes=data_bytes, seed=seed)
+        res = engine.run(app, data, config)
+        summary.invariant_reports[f"bigkernel/{app.name}"] = verify_run(res, config)
+    summary.invariant_reports["pipeline/per-block"] = _per_block_check(
+        config, engine, seed, data_bytes
+    )
+
+    emit("[2/3] differential suite: engines vs cpu_serial oracle")
+    summary.differential = run_differential(
+        data_bytes=data_bytes, seed=seed, config=config
+    )
+
+    emit(f"[3/3] fuzz suite: {fuzz_n} IR + {fuzz_n} pipeline cases, seed {seed}")
+    summary.fuzz = run_fuzz(
+        ir_iterations=fuzz_n, pipeline_iterations=fuzz_n, seed=seed
+    )
+    return summary
+
+
+def _per_block_check(
+    config: EngineConfig, engine: BigKernelEngine, seed: int, data_bytes: int
+) -> InvariantReport:
+    """Invariant-check one high-fidelity per-block pipeline run."""
+    app = ALL_APPS[0]()
+    data = app.generate(n_bytes=data_bytes, seed=seed)
+    sched = engine._schedule(app, data, config, workers_override=1)
+    n_blocks = min(4, max(1, sched.active_blocks))
+    block_chunks = [list(sched.chunks) for _ in range(n_blocks)]
+    result = run_pipeline_per_block(
+        config.hardware, block_chunks, sched.pipe_cfg, cpu_threads=4
+    )
+    return verify_pipeline_trace(
+        result.trace,
+        gpu_capacity=2 * n_blocks,
+        cpu_workers=4,
+        ring_depth=sched.pipe_cfg.ring_depth,
+        bytes_h2d=result.bytes_h2d,
+        bytes_d2h=result.bytes_d2h,
+    )

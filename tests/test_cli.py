@@ -53,6 +53,30 @@ class TestCli:
         xs = [e for e in events if e.get("ph") == "X"]
         assert xs and all(e["dur"] >= 0 for e in xs)
 
+    def test_verify_quick_passes(self, capsys):
+        assert main(["verify", "--quick", "--fuzz-iters", "2",
+                     "--data-mib", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "verify: PASS" in out
+        assert "differential vs cpu_serial" in out
+
+    def test_verify_exits_nonzero_on_violation(self, capsys, monkeypatch):
+        from repro.verify import runner
+        from repro.verify.invariants import InvariantReport, Violation
+
+        def broken(**kwargs):
+            summary = runner.VerifySummary()
+            summary.invariant_reports["bigkernel/kmeans"] = InvariantReport(
+                checked=("ring-backpressure",),
+                violations=[Violation("ring-backpressure", "ran ahead", 1.0)],
+            )
+            return summary
+
+        monkeypatch.setattr(runner, "run_verify", broken)
+        monkeypatch.setattr("repro.verify.run_verify", broken)
+        assert main(["verify", "--quick"]) == 1
+        assert "verify: FAIL" in capsys.readouterr().out
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

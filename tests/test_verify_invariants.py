@@ -1,0 +1,371 @@
+"""Invariant checkers against hand-built legal and illegal timelines.
+
+Each checker gets a minimal trace that satisfies the law and a minimal
+mutation that breaks it; a final class shows an intentionally broken
+*pipeline* (no buffer ring, no flag chase) being caught end-to-end.
+"""
+
+import pytest
+
+from repro.errors import VerificationError
+from repro.hw.pcie import H2D, DmaEngine, PcieLink
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import (
+    STAGE_ADDR_GEN,
+    STAGE_ASSEMBLY,
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    ChunkWork,
+    PipelineConfig,
+    run_pipeline,
+)
+from repro.sim.core import Environment
+from repro.sim.resources import Resource
+from repro.sim.trace import Interval, TraceRecorder
+from repro.verify.invariants import (
+    check_backpressure,
+    check_byte_conservation,
+    check_compute_after_transfer,
+    check_flag_after_data,
+    check_pcie_serialization,
+    check_stage_order,
+    check_track_capacity,
+    verify_pipeline_trace,
+    verify_run,
+)
+
+
+def make_trace(rows):
+    """TraceRecorder from (track, label, start, end, meta) rows."""
+    t = TraceRecorder()
+    for track, label, start, end, meta in rows:
+        t.record(track, label, start, end, **meta)
+    return t
+
+
+def chunk_rows(chunk, t0, block=None, xfer_bytes=100):
+    """One legal 4-stage iteration starting at ``t0``."""
+    meta = {"chunk": chunk} if block is None else {"chunk": chunk, "block": block}
+    return [
+        ("gpu", STAGE_ADDR_GEN, t0, t0 + 1, meta),
+        ("cpu", STAGE_ASSEMBLY, t0 + 1, t0 + 2, meta),
+        ("pcie-h2d", STAGE_TRANSFER, t0 + 2, t0 + 3, {**meta, "nbytes": xfer_bytes}),
+        ("pcie-h2d", f"{STAGE_TRANSFER}-flag", t0 + 3, t0 + 3.1, {**meta, "nbytes": 4}),
+        ("gpu", STAGE_COMPUTE, t0 + 3.2, t0 + 4, meta),
+    ]
+
+
+class TestCapacity:
+    def test_within_capacity_ok(self):
+        t = make_trace(
+            [
+                ("gpu", STAGE_ADDR_GEN, 0, 2, {"chunk": 0}),
+                ("gpu", STAGE_COMPUTE, 1, 3, {"chunk": 0}),
+            ]
+        )
+        assert check_track_capacity(t, "gpu", 2) == []
+
+    def test_overflow_detected(self):
+        t = make_trace(
+            [
+                ("gpu", STAGE_ADDR_GEN, 0, 2, {"chunk": 0}),
+                ("gpu", STAGE_COMPUTE, 1, 3, {"chunk": 0}),
+                ("gpu", STAGE_ADDR_GEN, 1.5, 2.5, {"chunk": 1}),
+            ]
+        )
+        v = check_track_capacity(t, "gpu", 2)
+        assert len(v) == 1
+        assert v[0].invariant == "gpu-capacity"
+        assert "3 concurrent" in v[0].message
+
+    def test_end_frees_slot_before_coincident_start(self):
+        """Half-open intervals: back-to-back on one slot is legal."""
+        t = make_trace(
+            [
+                ("cpu", STAGE_ASSEMBLY, 0, 1, {"chunk": 0}),
+                ("cpu", STAGE_ASSEMBLY, 1, 2, {"chunk": 1}),
+            ]
+        )
+        assert check_track_capacity(t, "cpu", 1) == []
+
+    def test_pcie_intra_direction_overlap_detected(self):
+        t = make_trace(
+            [
+                ("pcie-h2d", STAGE_TRANSFER, 0, 2, {"chunk": 0, "nbytes": 8}),
+                ("pcie-h2d", STAGE_TRANSFER, 1, 3, {"chunk": 1, "nbytes": 8}),
+            ]
+        )
+        v = check_pcie_serialization(t)
+        assert len(v) == 1 and v[0].invariant == "pcie-serialization"
+
+    def test_pcie_full_duplex_overlap_allowed(self):
+        t = make_trace(
+            [
+                ("pcie-h2d", STAGE_TRANSFER, 0, 2, {"chunk": 0, "nbytes": 8}),
+                ("pcie-d2h", STAGE_ADDR_GEN, 0.5, 1.5, {"chunk": 1, "nbytes": 8}),
+            ]
+        )
+        assert check_pcie_serialization(t) == []
+
+
+class TestCausality:
+    def test_flag_after_data_ok(self):
+        t = make_trace(chunk_rows(0, 0.0))
+        assert check_flag_after_data(t) == []
+
+    def test_flag_before_data_detected(self):
+        rows = [
+            ("pcie-h2d", STAGE_TRANSFER, 0, 2, {"chunk": 0, "nbytes": 64}),
+            # flag write *inside* the data DMA — impossible on a FIFO queue
+            ("pcie-h2d", f"{STAGE_TRANSFER}-flag", 1, 1.1, {"chunk": 0}),
+        ]
+        v = check_flag_after_data(make_trace(rows))
+        assert len(v) == 1 and v[0].invariant == "flag-before-data"
+
+    def test_orphan_flag_detected(self):
+        rows = [("pcie-h2d", f"{STAGE_TRANSFER}-flag", 1, 1.1, {"chunk": 5})]
+        v = check_flag_after_data(make_trace(rows))
+        assert len(v) == 1 and "no matching data transfer" in v[0].message
+
+    def test_compute_before_transfer_detected(self):
+        rows = [
+            ("pcie-h2d", STAGE_TRANSFER, 0, 2, {"chunk": 0, "nbytes": 64}),
+            ("gpu", STAGE_COMPUTE, 1.5, 3, {"chunk": 0}),
+        ]
+        v = check_compute_after_transfer(make_trace(rows))
+        assert len(v) == 1 and v[0].invariant == "compute-before-transfer"
+
+    def test_stage_order_ok(self):
+        t = make_trace(chunk_rows(0, 0.0) + chunk_rows(1, 1.0))
+        assert check_stage_order(t) == []
+
+    def test_stage_order_violation_detected(self):
+        rows = [
+            ("gpu", STAGE_ADDR_GEN, 1, 2, {"chunk": 0}),
+            # assembly starts before its addresses exist
+            ("cpu", STAGE_ASSEMBLY, 0.5, 1.5, {"chunk": 0}),
+        ]
+        v = check_stage_order(make_trace(rows))
+        assert len(v) == 1 and v[0].invariant == "stage-order"
+
+
+class TestBackpressure:
+    def legal(self, depth):
+        rows = []
+        for n in range(6):
+            rows += chunk_rows(n, float(n * 4))
+        return make_trace(rows)
+
+    def test_spaced_iterations_ok(self):
+        assert check_backpressure(self.legal(2), ring_depth=2) == []
+
+    def test_run_ahead_detected(self):
+        rows = []
+        # addr_gen of chunks 0..4 all start immediately; computes are late:
+        # with a depth-2 ring, addr_gen 2+ may not precede compute 0's end
+        for n in range(5):
+            meta = {"chunk": n}
+            rows.append(("gpu", STAGE_ADDR_GEN, n * 0.1, n * 0.1 + 0.05, meta))
+            rows.append(("gpu", STAGE_COMPUTE, 10 + n, 11 + n, meta))
+        v = check_backpressure(make_trace(rows), ring_depth=2)
+        assert len(v) == 3  # chunks 2, 3, 4
+        assert all(x.invariant == "ring-backpressure" for x in v)
+
+    def test_per_block_isolation(self):
+        """Chunk indices are compared within one block's pipeline only."""
+        rows = chunk_rows(0, 0.0, block=0) + chunk_rows(5, 0.0, block=1)
+        assert check_backpressure(make_trace(rows), ring_depth=2) == []
+
+
+class TestByteConservation:
+    def chunks(self):
+        return [
+            ChunkWork(0, 0.1, 0, 0.1, 100, 0.1),
+            ChunkWork(1, 0.1, 0, 0.1, 200, 0.1),
+        ]
+
+    def test_exact_bytes_ok(self):
+        t = make_trace(
+            chunk_rows(0, 0.0, xfer_bytes=100) + chunk_rows(1, 4.0, xfer_bytes=200)
+        )
+        assert check_byte_conservation(t, self.chunks()) == []
+
+    def test_short_transfer_detected(self):
+        t = make_trace(
+            chunk_rows(0, 0.0, xfer_bytes=100) + chunk_rows(1, 4.0, xfer_bytes=150)
+        )
+        v = check_byte_conservation(t, self.chunks())
+        assert len(v) == 1 and "transferred 150" in v[0].message
+
+    def test_missing_chunk_detected(self):
+        t = make_trace(chunk_rows(0, 0.0, xfer_bytes=100))
+        v = check_byte_conservation(t, self.chunks())
+        assert any("0 data transfers" in x.message for x in v)
+
+    def test_link_total_mismatch_detected(self):
+        t = make_trace(chunk_rows(0, 0.0, xfer_bytes=100))
+        v = check_byte_conservation(t, bytes_h2d=999)
+        assert len(v) == 1 and "link counted 999" in v[0].message
+
+
+class TestOverlapsZeroDuration:
+    """Regression: zero-duration intervals (instant flag writes) used to
+    overlap nothing, making them invisible to capacity/overlap checks.
+    Semantics now documented on Interval.overlaps: half-open [start, end);
+    points overlap spans that contain them; points overlap each other only
+    when coincident."""
+
+    def test_point_inside_span(self):
+        span = Interval("gpu", "compute", 0.0, 2.0)
+        point = Interval("gpu", "flag", 1.0, 1.0)
+        assert point.overlaps(span)
+        assert span.overlaps(point)
+
+    def test_point_at_open_end_does_not_overlap(self):
+        span = Interval("gpu", "compute", 0.0, 2.0)
+        assert not Interval("gpu", "flag", 2.0, 2.0).overlaps(span)
+
+    def test_point_at_closed_start_overlaps(self):
+        span = Interval("gpu", "compute", 0.0, 2.0)
+        assert Interval("gpu", "flag", 0.0, 0.0).overlaps(span)
+
+    def test_coincident_points_overlap(self):
+        a = Interval("gpu", "flag", 1.0, 1.0)
+        b = Interval("gpu", "flag", 1.0, 1.0)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_distinct_points_do_not_overlap(self):
+        a = Interval("gpu", "flag", 1.0, 1.0)
+        assert not a.overlaps(Interval("gpu", "flag", 1.5, 1.5))
+
+    def test_positive_intervals_keep_half_open_semantics(self):
+        a = Interval("gpu", "x", 0.0, 1.0)
+        b = Interval("gpu", "y", 1.0, 2.0)
+        assert not a.overlaps(b) and not b.overlaps(a)
+
+
+class TestRealPipelineTimelines:
+    """The actual simulator's timelines satisfy every law, and the verify
+    hook is callable straight from run_pipeline."""
+
+    def chunks(self, n=6, writes=False):
+        return [
+            ChunkWork(
+                index=i,
+                t_addr_gen=1e-4,
+                addr_bytes_d2h=4096,
+                t_assembly=2e-4,
+                xfer_bytes=1 << 20,
+                t_compute=3e-4,
+                write_bytes=2048 if writes else 0,
+                t_scatter=1e-5 if writes else 0.0,
+            )
+            for i in range(n)
+        ]
+
+    def test_aggregate_pipeline_verifies(self):
+        cfg = PipelineConfig(ring_depth=3, cpu_workers=2)
+        result = run_pipeline(DEFAULT_HARDWARE, self.chunks(), cfg, verify=True)
+        assert result.total_time > 0
+
+    def test_writeback_pipeline_verifies(self):
+        cfg = PipelineConfig(ring_depth=2, cpu_workers=1)
+        run_pipeline(DEFAULT_HARDWARE, self.chunks(writes=True), cfg, verify=True)
+
+    def test_full_report_names_every_law(self):
+        cfg = PipelineConfig(ring_depth=3, cpu_workers=2)
+        result = run_pipeline(DEFAULT_HARDWARE, self.chunks(), cfg)
+        report = verify_pipeline_trace(
+            result.trace,
+            cpu_workers=2,
+            ring_depth=3,
+            chunks=self.chunks(),
+            bytes_h2d=result.bytes_h2d,
+            bytes_d2h=result.bytes_d2h,
+        )
+        assert report.ok, report.summary()
+        for law in (
+            "gpu-capacity",
+            "cpu-capacity",
+            "pcie-serialization",
+            "flag-before-data",
+            "compute-before-transfer",
+            "stage-order",
+            "ring-backpressure",
+            "byte-conservation",
+        ):
+            assert law in report.checked
+
+
+class TestBrokenPipelineCaught:
+    """An intentionally broken pipeline — no buffer ring (unbounded
+    run-ahead) and no flag chase (compute fires while its DMA is still in
+    flight) — is demonstrably rejected by the checkers."""
+
+    def rogue_trace(self, n_chunks=6, ring_depth=2):
+        env = Environment()
+        trace = TraceRecorder()
+        link = PcieLink(env, DEFAULT_HARDWARE.pcie, trace=trace)
+        dma = DmaEngine(link)
+        gpu = Resource(env, capacity=2, name="gpu")
+        chunks = self_chunks = [
+            ChunkWork(i, 1e-4, 0, 2e-4, 1 << 20, 3e-4) for i in range(n_chunks)
+        ]
+
+        def addr_gen():
+            # no ring semaphore: generates arbitrarily far ahead
+            for c in self_chunks:
+                with gpu.request() as grant:
+                    yield grant
+                    start = env.now
+                    yield env.timeout(c.t_addr_gen)
+                    trace.record("gpu", STAGE_ADDR_GEN, start, env.now, chunk=c.index)
+
+        def transfer_and_compute():
+            for c in self_chunks:
+                dma.copy_async(c.xfer_bytes, H2D, label=STAGE_TRANSFER, chunk=c.index)
+                # disabled flag chase: compute starts without waiting
+                start = env.now
+                yield env.timeout(c.t_compute)
+                trace.record("gpu", STAGE_COMPUTE, start, env.now, chunk=c.index)
+
+        env.process(addr_gen())
+        env.process(transfer_and_compute())
+        env.run()
+        return trace, chunks
+
+    def test_rogue_pipeline_is_rejected(self):
+        trace, chunks = self.rogue_trace()
+        report = verify_pipeline_trace(trace, ring_depth=2, chunks=chunks)
+        assert not report.ok
+        broken = {v.invariant for v in report.violations}
+        assert "compute-before-transfer" in broken
+        assert "ring-backpressure" in broken
+
+    def test_raise_if_failed(self):
+        trace, chunks = self.rogue_trace()
+        report = verify_pipeline_trace(trace, ring_depth=2, chunks=chunks)
+        with pytest.raises(VerificationError, match="ring-backpressure"):
+            report.raise_if_failed()
+
+
+class TestVerifyRunHelper:
+    def test_bigkernel_run_passes(self):
+        from repro.apps import get_app
+        from repro.engines import BigKernelEngine, EngineConfig
+
+        app = get_app("kmeans")
+        data = app.generate(n_bytes=1 << 20, seed=3)
+        cfg = EngineConfig(chunk_bytes=256 * 1024)
+        res = BigKernelEngine().run(app, data, cfg)
+        report = verify_run(res, cfg)
+        assert report.ok, report.summary()
+
+    def test_traceless_run_is_vacuous(self):
+        from repro.apps import get_app
+        from repro.engines import CpuSerialEngine
+
+        app = get_app("kmeans")
+        data = app.generate(n_bytes=1 << 20, seed=3)
+        res = CpuSerialEngine().run(app, data)
+        assert verify_run(res).ok
