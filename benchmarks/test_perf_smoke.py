@@ -1,0 +1,116 @@
+"""Perf smoke: wall-clock of the analytic fast path vs the DES.
+
+Times (``time.perf_counter``) a ~500-chunk BigKernel run and a 16-point
+autotune sweep, fast path + caching against the DES / serial baselines,
+and records the measurements to ``BENCH_pipeline.json`` at the repo root.
+
+The speedup threshold is *warn-only*: wall-clock on shared CI boxes is
+too noisy for a hard assert, but the recorded JSON makes regressions
+visible across commits. Expected on any machine: the analytic pipeline
+beats the DES by well over 5x at 500 chunks (it is O(n) arithmetic vs
+an event queue), and the cached sweep beats the cold serial sweep by the
+cache hit rate.
+"""
+
+import json
+import time
+import warnings
+from pathlib import Path
+
+from repro.apps import get_app
+from repro.bench.sweep import RUN_CACHE, sweep
+from repro.engines import BigKernelEngine, EngineConfig
+from repro.units import MiB
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+WARN_SPEEDUP = 5.0
+
+SWEEP_GRID = {
+    "chunk_bytes": [256 * 1024, 512 * 1024, 1 * MiB, 2 * MiB],
+    "num_blocks": [8, 16, 32, 64],
+}
+
+
+def _record(entry: dict) -> None:
+    entries = []
+    if BENCH_FILE.exists():
+        entries = json.loads(BENCH_FILE.read_text())
+    entries = [e for e in entries if e["name"] != entry["name"]]
+    entries.append(entry)
+    BENCH_FILE.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def _warn_if_slow(name: str, speedup: float) -> None:
+    if speedup < WARN_SPEEDUP:
+        warnings.warn(
+            f"{name}: speedup {speedup:.1f}x below the {WARN_SPEEDUP:.0f}x "
+            f"expectation (warn-only; see BENCH_pipeline.json)",
+            stacklevel=2,
+        )
+
+
+def test_fastpath_500_chunk_run():
+    app = get_app("wordcount")
+    # 32 MiB of records at 64 KiB chunk payloads ~= 500 pipeline chunks
+    data = app.generate(n_bytes=32 * MiB, seed=7)
+    engine = BigKernelEngine()
+    cfg = EngineConfig(chunk_bytes=64 * 1024, functional=False)
+    engine._schedule(app, data, cfg)  # build once so neither timing pays it
+
+    t0 = time.perf_counter()
+    slow = engine.run(app, data, cfg.with_(fastpath=False))
+    t_des = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fast = engine.run(app, data, cfg)
+    t_fast = time.perf_counter() - t0
+
+    assert fast.sim_time == slow.sim_time  # exactness is non-negotiable
+    assert fast.metrics.n_chunks >= 500
+    speedup = t_des / t_fast if t_fast > 0 else float("inf")
+    _record(
+        {
+            "name": "bigkernel_500_chunk_run",
+            "n_chunks": fast.metrics.n_chunks,
+            "des_seconds": t_des,
+            "fastpath_seconds": t_fast,
+            "speedup": speedup,
+            "sim_time": fast.sim_time,
+        }
+    )
+    _warn_if_slow("bigkernel_500_chunk_run", speedup)
+
+
+def test_sweep_16_points_cached_parallel():
+    app = get_app("wordcount")
+    data = app.generate(n_bytes=8 * MiB, seed=7)
+    engine = BigKernelEngine()
+    base = EngineConfig(chunk_bytes=512 * 1024, functional=False)
+    RUN_CACHE.clear()
+
+    t0 = time.perf_counter()
+    cold = sweep(engine, app, data, base, SWEEP_GRID, jobs=1, cache=False)
+    t_serial = time.perf_counter() - t0
+
+    # warm the cache, then measure the repeat sweep (the figure-harness
+    # pattern: every artifact re-tunes the same engine/app pairs)
+    sweep(engine, app, data, base, SWEEP_GRID, jobs=4, cache=True)
+    t0 = time.perf_counter()
+    warm = sweep(engine, app, data, base, SWEEP_GRID, jobs=4, cache=True)
+    t_cached = time.perf_counter() - t0
+
+    assert len(cold.points) == 16 and len(warm.points) == 16
+    assert warm.best.params == cold.best.params
+    speedup = t_serial / t_cached if t_cached > 0 else float("inf")
+    _record(
+        {
+            "name": "sweep_16_point_cached",
+            "points": len(warm.points),
+            "serial_cold_seconds": t_serial,
+            "parallel_cached_seconds": t_cached,
+            "speedup": speedup,
+            "cache_hits": RUN_CACHE.hits,
+        }
+    )
+    _warn_if_slow("sweep_16_point_cached", speedup)
+    RUN_CACHE.clear()

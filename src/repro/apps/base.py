@@ -18,6 +18,7 @@ Every app provides three synchronized views of the same computation:
 from __future__ import annotations
 
 import abc
+import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -70,6 +71,27 @@ class AppData:
     def byte_view(self, name: Optional[str] = None) -> np.ndarray:
         arr = self.mapped[name or self.primary]
         return arr.view(np.uint8).reshape(-1)
+
+
+_FINGERPRINT_COUNTER = itertools.count(1)
+
+
+def data_fingerprint(data: AppData) -> tuple:
+    """Hashable identity token of one dataset instance.
+
+    :class:`AppData` itself is unhashable (mutable dataclass), so caches
+    (engine schedule memoization, ``bench.sweep``'s run cache) key on this
+    instead. The token is minted once per instance and stashed in
+    ``data.meta`` — two datasets get equal fingerprints only if they are
+    the *same object*, which is exactly the safe notion of identity for a
+    cache: regenerating data (even with the same seed) gets a fresh token
+    and therefore fresh cache entries.
+    """
+    token = data.meta.get("_fingerprint")
+    if token is None:
+        token = next(_FINGERPRINT_COUNTER)
+        data.meta["_fingerprint"] = token
+    return (data.app, data.n_records, token)
 
 
 @dataclass(frozen=True)

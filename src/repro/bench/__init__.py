@@ -18,7 +18,15 @@ from repro.bench.harness import BenchSettings, Matrix, run_matrix
 from repro.bench.report import render_table, render_series, render_gantt
 from repro.bench.figures import fig4a, fig4b, fig5, fig6
 from repro.bench.tables import table1, table2
-from repro.bench.sweep import sweep, autotune, SweepResult, SweepPoint
+from repro.bench.sweep import (
+    sweep,
+    autotune,
+    SweepResult,
+    SweepPoint,
+    RunCache,
+    RUN_CACHE,
+    DEFAULT_GRID,
+)
 from repro.bench import paper_data
 
 __all__ = [
@@ -38,5 +46,8 @@ __all__ = [
     "autotune",
     "SweepResult",
     "SweepPoint",
+    "RunCache",
+    "RUN_CACHE",
+    "DEFAULT_GRID",
     "paper_data",
 ]

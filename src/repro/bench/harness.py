@@ -69,16 +69,22 @@ def run_matrix(
     apps = tuple(apps) if apps is not None else tuple(cls() for cls in ALL_APPS)
     engines = tuple(engines) if engines is not None else default_engines()
 
+    config = settings.config
+    if settings.check_invariants and config.fastpath:
+        # invariant checking needs full timelines: force the DES (the
+        # analytic fast path intentionally records no trace)
+        config = config.with_(fastpath=False)
+
     results: dict = {}
     for app in apps:
         data = app.generate(n_bytes=settings.data_bytes, seed=settings.seed)
         reference = None
         for engine in engines:
-            res = engine.run(app, data, settings.config)
+            res = engine.run(app, data, config)
             results[(app.name, engine.name)] = res
             if reference is None:
                 reference = res
-            elif settings.validate and not app.outputs_equal(
+            elif settings.validate and config.functional and not app.outputs_equal(
                 reference.output, res.output
             ):
                 raise ValidationFailure(
@@ -88,7 +94,7 @@ def run_matrix(
             if settings.check_invariants and res.trace is not None:
                 from repro.verify.invariants import verify_run
 
-                report = verify_run(res, settings.config)
+                report = verify_run(res, config)
                 if not report.ok:
                     raise ValidationFailure(
                         f"{engine.name} timeline on {app.name} violates "

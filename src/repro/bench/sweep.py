@@ -5,14 +5,29 @@ run with the number of GPU computation threads [and] buffer sizes that
 result in the best execution time, as determined through
 experimentation*. :func:`autotune` reproduces that methodology: it sweeps
 a small grid per engine/app pair and returns the fastest configuration.
+
+Two levers keep big grids fast (``docs/performance.md``):
+
+* ``jobs=N`` fans the grid points across a thread pool. Points are
+  independent engine runs; results are merged back in grid order, so the
+  outcome — including every tie-break — is identical to the serial sweep.
+* ``cache=True`` consults the in-process :class:`RunCache`, an LRU of
+  ``(engine identity, app, dataset fingerprint, config) -> RunResult``
+  shared by all sweeps in the process, so repeated autotunes (e.g. every
+  figure harness tuning the same engines) evaluate each point once.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
+import threading
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Optional
 
-from repro.apps.base import AppData, Application
+from repro.apps.base import AppData, Application, data_fingerprint
 from repro.engines.base import Engine, EngineConfig, RunResult
 from repro.errors import ReproError
 from repro.units import MiB
@@ -35,13 +50,87 @@ class SweepResult:
 
     @property
     def best(self) -> SweepPoint:
+        """The fastest point, with deterministic tie-breaking.
+
+        Ties on ``sim_time`` are resolved toward the *smallest* resource
+        footprint: lowest ``chunk_bytes`` first, then lowest
+        ``num_blocks``, then grid order (``min`` is stable). Configuration-
+        insensitive plateaus — common for CPU-bound apps — therefore
+        always tune to the same config, whatever the grid order.
+        """
         if not self.points:
             raise ReproError("sweep produced no points")
-        return min(self.points, key=lambda p: p.sim_time)
+        inf = float("inf")
+        return min(
+            self.points,
+            key=lambda p: (
+                p.sim_time,
+                p.params.get("chunk_bytes", inf),
+                p.params.get("num_blocks", inf),
+            ),
+        )
 
     def series(self, key: str) -> dict:
         """``param value -> sim time`` for rendering."""
         return {p.params[key]: p.sim_time for p in self.points}
+
+
+class RunCache:
+    """Thread-safe LRU of engine runs, keyed on everything a run reads.
+
+    The key is ``(engine.cache_key, app name, dataset fingerprint,
+    config)``: engine identity includes ablation features, the dataset
+    fingerprint (:func:`repro.apps.base.data_fingerprint`) is minted per
+    dataset *instance*, and :class:`EngineConfig` is frozen/hashable. A
+    regenerated dataset — even same app and seed — gets a fresh
+    fingerprint, so stale hits are impossible.
+    """
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._entries: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(engine: Engine, app: Application, data: AppData, config: EngineConfig):
+        return (engine.cache_key, app.name, data_fingerprint(data), config)
+
+    def get(self, key) -> Optional[RunResult]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key, result: RunResult) -> None:
+        with self._lock:
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+#: process-wide run cache used by ``sweep(..., cache=True)``
+RUN_CACHE = RunCache()
+
+
+def _resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None or jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 def sweep(
@@ -50,27 +139,42 @@ def sweep(
     data: AppData,
     base_config: EngineConfig,
     grid: dict,
+    jobs: int = 1,
+    cache: bool = False,
 ) -> SweepResult:
     """Run ``engine`` over the cartesian product of ``grid`` overrides.
 
     ``grid`` maps EngineConfig field names to candidate value lists; the
-    product is evaluated in deterministic order.
+    product is enumerated in deterministic order (sorted keys, listed
+    values). ``jobs`` > 1 evaluates points on a thread pool (0/None means
+    one per CPU); the merge preserves grid order, so the result — points
+    list and tie-broken winner alike — is independent of ``jobs``.
+    ``cache=True`` reuses process-wide :data:`RUN_CACHE` entries for
+    previously-seen ``(engine, app, data, config)`` combinations.
     """
     keys = sorted(grid)
-    points: list[SweepPoint] = []
+    combos = [
+        dict(zip(keys, values))
+        for values in itertools.product(*(grid[k] for k in keys))
+    ]
 
-    def rec(i: int, chosen: dict) -> None:
-        if i == len(keys):
-            cfg = base_config.with_(**chosen)
+    def evaluate(chosen: dict) -> SweepPoint:
+        cfg = base_config.with_(**chosen)
+        cache_key = RunCache.key(engine, app, data, cfg) if cache else None
+        result = RUN_CACHE.get(cache_key) if cache else None
+        if result is None:
             result = engine.run(app, data, cfg)
-            points.append(SweepPoint(dict(chosen), result.sim_time, result))
-            return
-        for value in grid[keys[i]]:
-            chosen[keys[i]] = value
-            rec(i + 1, chosen)
-        del chosen[keys[i]]
+            if cache:
+                RUN_CACHE.put(cache_key, result)
+        return SweepPoint(dict(chosen), result.sim_time, result)
 
-    rec(0, {})
+    jobs = _resolve_jobs(jobs) if jobs != 1 else 1
+    if jobs == 1 or len(combos) <= 1:
+        points = [evaluate(c) for c in combos]
+    else:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(combos))) as ex:
+            # executor.map preserves input order: deterministic merge
+            points = list(ex.map(evaluate, combos))
     return SweepResult(points)
 
 
@@ -88,11 +192,17 @@ def autotune(
     data: AppData,
     base_config: Optional[EngineConfig] = None,
     grid: Optional[dict] = None,
+    jobs: int = 1,
+    cache: bool = False,
 ) -> tuple[EngineConfig, SweepResult]:
     """Find the engine's best configuration for this app/dataset.
 
-    Returns ``(best_config, full_sweep)``. CPU engines are configuration-
-    insensitive and short-circuit to the base config.
+    Returns ``(best_config, full_sweep)`` where ``best_config`` is
+    ``base_config`` with the winning grid overrides applied (all other
+    base fields preserved). Ties follow :meth:`SweepResult.best`'s
+    deterministic ordering. CPU engines are configuration-insensitive and
+    short-circuit to the base config. ``jobs``/``cache`` pass through to
+    :func:`sweep`.
     """
     base_config = base_config or EngineConfig()
     if engine.name.startswith("cpu"):
@@ -100,5 +210,7 @@ def autotune(
         return base_config, SweepResult(
             [SweepPoint({}, result.sim_time, result)]
         )
-    res = sweep(engine, app, data, base_config, grid or DEFAULT_GRID)
+    res = sweep(
+        engine, app, data, base_config, grid or DEFAULT_GRID, jobs=jobs, cache=cache
+    )
     return base_config.with_(**res.best.params), res

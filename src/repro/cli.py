@@ -9,7 +9,10 @@ Commands mirror the library's surfaces:
 * ``hw`` — print the simulated testbed;
 * ``trace`` — run BigKernel on an app and dump a Chrome-trace timeline;
 * ``verify`` — invariant + differential + fuzz verification sweep
-  (see ``docs/verification.md``); exits nonzero on any violation.
+  (see ``docs/verification.md``); ``--fastpath`` adds the analytic-vs-DES
+  differential; exits nonzero on any violation;
+* ``sweep`` — autotune one engine/app pair over the default grid, with
+  ``--jobs`` for parallel evaluation (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -136,7 +139,10 @@ def cmd_trace(args) -> int:
 
     app = get_app(args.app)
     data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
-    res = BigKernelEngine().run(app, data, _settings(args).config)
+    # a trace dump needs the full timeline: force the DES (the analytic
+    # fast path records no intervals)
+    cfg = _settings(args).config.with_(fastpath=False)
+    res = BigKernelEngine().run(app, data, cfg)
     assert res.trace is not None
     res.trace.dump_chrome_trace(args.out)
     if args.gantt:
@@ -156,9 +162,55 @@ def cmd_verify(args) -> int:
         seed=args.seed,
         data_bytes=args.data_mib * MiB if args.data_mib else None,
         fuzz_iterations=args.fuzz_iters,
+        fastpath=args.fastpath,
     )
     print(summary.summary())
     return 0 if summary.ok else 1
+
+
+def cmd_sweep(args) -> int:
+    from repro.apps import get_app
+    from repro.bench.report import render_table
+    from repro.bench.sweep import DEFAULT_GRID, autotune
+    from repro.engines import ALL_ENGINES
+
+    app = get_app(args.app)
+    data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
+    engine = None
+    for cls in ALL_ENGINES:
+        e = cls()
+        if e.name == args.engine:
+            engine = e
+            break
+    if engine is None:
+        print(f"unknown engine {args.engine!r}", file=sys.stderr)
+        return 2
+    best_cfg, res = autotune(
+        engine,
+        app,
+        data,
+        base_config=_settings(args).config,
+        jobs=args.jobs,
+        cache=True,
+    )
+    rows = [
+        [
+            fmt_bytes(p.params.get("chunk_bytes", best_cfg.chunk_bytes)),
+            p.params.get("num_blocks", best_cfg.num_blocks),
+            fmt_time(p.sim_time),
+            "<-- best" if p.params == res.best.params else "",
+        ]
+        for p in res.points
+    ]
+    print(render_table(
+        ["chunk", "blocks", "sim time", ""],
+        rows,
+        title=f"{engine.display_name} x {app.display_name}: "
+              f"{len(res.points)}-point sweep (jobs={args.jobs})",
+    ))
+    print(f"best: chunk_bytes={fmt_bytes(best_cfg.chunk_bytes)} "
+          f"num_blocks={best_cfg.num_blocks}")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -199,6 +251,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset size (MiB); 0 = suite default")
     p_v.add_argument("--fuzz-iters", type=int, default=None,
                      help="fuzz cases per loop (default: 8 quick / 30 full)")
+    p_v.add_argument("--fastpath", action="store_true",
+                     help="also run the fastpath-vs-des differential "
+                          "(analytic pipeline against the simulator)")
+
+    p_sw = sub.add_parser(
+        "sweep", help="autotune one engine/app pair over the default grid"
+    )
+    p_sw.add_argument("app", help="application name (see `repro apps`)")
+    p_sw.add_argument("--engine", default="bigkernel",
+                      help="engine to tune (default: bigkernel)")
+    p_sw.add_argument("--jobs", type=int, default=1,
+                      help="parallel sweep workers (0 = one per CPU)")
+    _add_common(p_sw)
 
     p_tr = sub.add_parser("trace", help="dump a BigKernel Chrome-trace timeline")
     p_tr.add_argument("app")
@@ -218,6 +283,7 @@ def main(argv=None) -> int:
         "hw": cmd_hw,
         "trace": cmd_trace,
         "verify": cmd_verify,
+        "sweep": cmd_sweep,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,
         "fig5": cmd_figure,

@@ -34,6 +34,14 @@ class EngineConfig:
     ring_depth: int = 3
     #: enable online pattern recognition (Table II's switch)
     pattern_recognition: bool = True
+    #: allow the analytic steady-state pipeline (repro.runtime.fastpath)
+    #: when the run qualifies; False forces the discrete-event simulator
+    #: (and thus a full trace) everywhere
+    fastpath: bool = True
+    #: compute the app's functional output (the semantics cross-check);
+    #: False skips it — timing-only runs for sweeps and perf benchmarks,
+    #: where ``RunResult.output`` is None
+    functional: bool = True
 
     def __post_init__(self):
         if self.chunk_bytes < 1024:
@@ -104,6 +112,14 @@ class Engine(abc.ABC):
 
     name: str = ""
     display_name: str = ""
+
+    @property
+    def cache_key(self) -> str:
+        """Identity of this engine for run-result caching (bench.sweep).
+
+        Engines whose behaviour depends on constructor state must extend
+        this (BigKernel appends its feature-ablation label)."""
+        return self.name
 
     @abc.abstractmethod
     def run(

@@ -43,7 +43,9 @@ class CpuMtEngine(Engine):
         n = app.n_units(data)
         per = max(1, -(-n // spec.threads))
         bounds = app.chunk_bounds(data, per)
-        output = self._functional_output(app, data, bounds)
+        output = (
+            self._functional_output(app, data, bounds) if config.functional else None
+        )
         metrics = RunMetrics(
             n_chunks=len(bounds),
             comp_time=sim_time,

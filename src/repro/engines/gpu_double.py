@@ -17,6 +17,7 @@ from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
 from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
+from repro.runtime.fastpath import TemplatedChunks
 from repro.runtime.pipeline import (
     STAGE_ASSEMBLY,
     STAGE_COMPUTE,
@@ -52,38 +53,45 @@ class GpuDoubleBufferEngine(Engine):
         upc, _ = chunk_plan(units, config.chunk_bytes, profile.record_bytes)
         threads = config.total_compute_threads
 
-        chunks = []
-        index = 0
-        for _ in range(profile.passes):
-            remaining = units
-            while remaining > 0:
-                u = min(upc, remaining)
-                raw = u * profile.record_bytes
-                cost = kernel_chunk_cost(profile, u, coalesced=False)
-                t_comp = gpu.stage_time(cost, threads) + gpu.spec.kernel_launch_overhead
-                wb = u * profile.write_bytes_per_record
-                chunks.append(
-                    ChunkWork(
-                        index=index,
-                        t_addr_gen=0.0,
-                        addr_bytes_d2h=0,
-                        t_assembly=cpu.staging_copy_time(raw),
-                        xfer_bytes=int(raw),
-                        t_compute=t_comp,
-                        write_bytes=int(wb),
-                        t_scatter=cpu.staging_copy_time(wb) if wb > 0 else 0.0,
-                    )
-                )
-                index += 1
-                remaining -= u
+        def chunk_costs(u: int) -> ChunkWork:
+            raw = u * profile.record_bytes
+            cost = kernel_chunk_cost(profile, u, coalesced=False)
+            t_comp = gpu.stage_time(cost, threads) + gpu.spec.kernel_launch_overhead
+            wb = u * profile.write_bytes_per_record
+            return ChunkWork(
+                index=0,
+                t_addr_gen=0.0,
+                addr_bytes_d2h=0,
+                t_assembly=cpu.staging_copy_time(raw),
+                xfer_bytes=int(raw),
+                t_compute=t_comp,
+                write_bytes=int(wb),
+                t_scatter=cpu.staging_copy_time(wb) if wb > 0 else 0.0,
+            )
+
+        # One cost vector for every full chunk, one for the ragged tail.
+        n_full, rem = divmod(units, upc)
+        if rem == 0:
+            chunks = TemplatedChunks(chunk_costs(upc), n_full, None, profile.passes)
+        elif n_full == 0:
+            chunks = TemplatedChunks(chunk_costs(rem), 1, None, profile.passes)
+        else:
+            chunks = TemplatedChunks(
+                chunk_costs(upc), n_full, chunk_costs(rem), profile.passes
+            )
 
         result = run_pipeline(
-            hw, chunks, PipelineConfig(ring_depth=2, cpu_workers=1)
+            hw,
+            chunks,
+            PipelineConfig(ring_depth=2, cpu_workers=1),
+            fastpath=config.fastpath,
         )
         sim_time = result.total_time
 
-        bounds = app.chunk_bounds(data, upc)
-        output = self._functional_output(app, data, bounds)
+        output = None
+        if config.functional:
+            bounds = app.chunk_bounds(data, upc)
+            output = self._functional_output(app, data, bounds)
         comm = (
             result.stage_totals.get(STAGE_ASSEMBLY, 0.0)
             + result.stage_totals.get(STAGE_TRANSFER, 0.0)

@@ -51,6 +51,10 @@ class MultiGpuBigKernelEngine(BigKernelEngine):
         self.shared_link = shared_link
         self.name = f"bigkernel_multigpu{n_gpus}"
 
+    @property
+    def cache_key(self) -> str:
+        return f"{self.name}:{self.features.label}:shared={self.shared_link}"
+
     def run(
         self,
         app: Application,
@@ -84,14 +88,20 @@ class MultiGpuBigKernelEngine(BigKernelEngine):
             sched = self._schedule(
                 app, data, config, units=su, workers_override=workers_per_gpu
             )
-            results.append(run_pipeline(shard_hw, sched.chunks, sched.pipe_cfg))
+            results.append(
+                run_pipeline(
+                    shard_hw, sched.chunks, sched.pipe_cfg, fastpath=config.fastpath
+                )
+            )
         assert sched is not None
 
         # devices run concurrently; the job ends when the slowest shard does
         sim_time = max(r.total_time for r in results) + gpu.spec.kernel_launch_overhead
 
-        bounds = app.chunk_bounds(data, sched.upc)
-        output = self._functional_output(app, data, bounds)
+        output = None
+        if config.functional:
+            bounds = app.chunk_bounds(data, sched.upc)
+            output = self._functional_output(app, data, bounds)
 
         stage_totals: dict = {}
         for r in results:

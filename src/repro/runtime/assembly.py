@@ -55,15 +55,12 @@ def gather_bytes(
     return byte_view[idx.reshape(-1)]
 
 
-def interleave_layout(
+def _interleave_layout_loop(
     per_thread_offsets: Sequence[np.ndarray],
 ) -> np.ndarray:
-    """GPU access order over per-thread address streams.
-
-    At each time step every computation thread pops its next element, so
-    the prefetch buffer stores step 0 of all threads, then step 1, etc.
-    Threads with exhausted streams simply drop out (ragged tails allowed).
-    """
+    """Reference implementation of :func:`interleave_layout` (pure Python
+    step loop). Kept as the equivalence oracle for the vectorized version —
+    see ``tests/test_fastpath.py``."""
     streams = [np.asarray(s, dtype=np.int64) for s in per_thread_offsets]
     if not streams:
         return np.empty(0, dtype=np.int64)
@@ -74,6 +71,39 @@ def interleave_layout(
             if step < s.size:
                 out.append(int(s[step]))
     return np.asarray(out, dtype=np.int64)
+
+
+def interleave_layout(
+    per_thread_offsets: Sequence[np.ndarray],
+) -> np.ndarray:
+    """GPU access order over per-thread address streams.
+
+    At each time step every computation thread pops its next element, so
+    the prefetch buffer stores step 0 of all threads, then step 1, etc.
+    Threads with exhausted streams simply drop out (ragged tails allowed).
+
+    Vectorized: element ``(step, thread)`` sorts by ``step`` first, then
+    thread index — one stable argsort over the concatenated streams
+    replaces the per-step Python loop.
+    """
+    streams = [np.asarray(s, dtype=np.int64) for s in per_thread_offsets]
+    if not streams:
+        return np.empty(0, dtype=np.int64)
+    lens = np.array([s.size for s in streams], dtype=np.int64)
+    total = int(lens.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    if lens.min() == lens.max():
+        # equal-length fast case: transpose does the interleave directly
+        return np.stack(streams, axis=0).T.reshape(-1)
+    values = np.concatenate(streams)
+    # per-element step index: position within its own stream
+    starts = np.cumsum(lens) - lens
+    steps = np.arange(total, dtype=np.int64) - np.repeat(starts, lens)
+    # sort by step, ties broken by thread order = concatenation order
+    # (kind='stable' keeps the tie-break exact)
+    order = np.argsort(steps, kind="stable")
+    return values[order]
 
 
 def assembly_read_order(

@@ -104,11 +104,16 @@ class PipelineConfig:
 
 @dataclass
 class PipelineResult:
-    """Timeline outcome of one pipeline run."""
+    """Timeline outcome of one pipeline run.
+
+    ``trace`` is None when the run went through the analytic fast path
+    (:mod:`repro.runtime.fastpath`) — the totals are still exact, but no
+    per-interval timeline was recorded.
+    """
 
     total_time: float
     n_chunks: int
-    trace: TraceRecorder
+    trace: Optional[TraceRecorder]
     #: wall-clock-style sum of each stage's busy intervals
     stage_totals: dict = field(default_factory=dict)
     bytes_h2d: int = 0
@@ -280,6 +285,7 @@ def run_pipeline(
     config: PipelineConfig = PipelineConfig(),
     trace: Optional[TraceRecorder] = None,
     verify: bool = False,
+    fastpath: Optional[bool] = None,
 ) -> PipelineResult:
     """Simulate the full pipeline over ``chunks``; returns the timeline.
 
@@ -291,9 +297,32 @@ def run_pipeline(
     With ``verify=True`` the resulting timeline is run through the trace
     invariant checkers (:mod:`repro.verify.invariants`) and a
     :class:`~repro.errors.VerificationError` is raised on any violation.
+
+    ``fastpath`` selects the analytic steady-state engine
+    (:mod:`repro.runtime.fastpath`): ``None`` (default) engages it only for
+    :class:`~repro.runtime.fastpath.TemplatedChunks` schedules, ``True``
+    also tries plain lists, ``False`` forces the DES. The fast path is used
+    only when no trace is requested, ``verify`` is off, and
+    :func:`~repro.runtime.fastpath.fastpath_supported` confirms the run is
+    in its exact-coverage envelope; otherwise the DES runs as before.
     """
-    if not chunks:
+    if not len(chunks):
         raise RuntimeConfigError("pipeline needs at least one chunk")
+    from repro.runtime.fastpath import (
+        TemplatedChunks,
+        fastpath_supported,
+        run_fastpath,
+    )
+
+    want_fast = (
+        fastpath if fastpath is not None else isinstance(chunks, TemplatedChunks)
+    )
+    if want_fast and trace is None and not verify:
+        ok, _reason = fastpath_supported(chunks, config)
+        if ok:
+            return run_fastpath(hardware, chunks, config)
+    if isinstance(chunks, TemplatedChunks):
+        chunks = chunks.materialize()
     env = Environment()
     trace = trace if trace is not None else TraceRecorder()
     link = PcieLink(env, hardware.pcie, trace=trace)

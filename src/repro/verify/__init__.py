@@ -9,8 +9,13 @@ Three pillars, each usable on its own:
 * :mod:`repro.verify.fuzz` — seeded random IR programs and pipeline
   schedules through the compiler round trip and the invariant checkers.
 
-``python -m repro verify`` (see :mod:`repro.verify.runner`) runs all
-three and exits nonzero on any violation. Opt-in hooks:
+A fourth, opt-in pillar (``python -m repro verify --fastpath``) checks
+the analytic steady-state pipeline (:mod:`repro.runtime.fastpath`)
+against the DES across the full app x engine matrix — totals must agree
+within 1e-9.
+
+``python -m repro verify`` (see :mod:`repro.verify.runner`) runs the
+suites and exits nonzero on any violation. Opt-in hooks:
 ``run_pipeline(..., verify=True)``, ``bigkernel_launch(..., verify=True)``
 and ``BenchSettings(check_invariants=True)``.
 """
@@ -18,7 +23,10 @@ and ``BenchSettings(check_invariants=True)``.
 from repro.verify.differential import (
     DiffEntry,
     DifferentialReport,
+    FastpathEntry,
+    FastpathReport,
     run_differential,
+    run_fastpath_differential,
 )
 from repro.verify.fuzz import FuzzFailure, FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -50,7 +58,10 @@ __all__ = [
     "verify_run",
     "DiffEntry",
     "DifferentialReport",
+    "FastpathEntry",
+    "FastpathReport",
     "run_differential",
+    "run_fastpath_differential",
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",

@@ -123,6 +123,10 @@ def run_differential(
         oracle = CpuSerialEngine()
         engines = [oracle] + engines
 
+    # invariant checking reads full timelines; the analytic fast path
+    # records none, so those cells run against the DES explicitly
+    traced_config = config.with_(fastpath=False) if config.fastpath else config
+
     report = DifferentialReport()
     for app in apps:
         data = app.generate(n_bytes=data_bytes, seed=seed)
@@ -133,15 +137,154 @@ def run_differential(
         for engine in engines:
             if engine is oracle:
                 continue
-            res = engine.run(app, data, config)
+            wants_trace = check_invariants and engine.name == "bigkernel"
+            res = engine.run(app, data, traced_config if wants_trace else config)
             ok, detail = compare_outputs(app, ref.output, res.output)
             inv = None
-            if check_invariants and engine.name == "bigkernel":
-                inv = verify_run(res, config)
+            if wants_trace:
+                inv = verify_run(res, traced_config)
                 if not inv.ok:
                     ok = False
                     detail = (detail + "; " if detail else "") + inv.summary()
             report.entries.append(
                 DiffEntry(app.name, engine.name, ok, detail, res.sim_time, inv)
+            )
+    return report
+
+
+# --------------------------------------------------------------------------
+# fastpath-vs-des mode: the analytic pipeline against the simulator
+# --------------------------------------------------------------------------
+
+#: relative tolerance for timeline comparisons — the fast path is designed
+#: to be bit-identical, so this is purely a guard against future drift
+FASTPATH_TOL = 1e-9
+
+
+@dataclass
+class FastpathEntry:
+    """One (app, engine) cell of the fastpath-vs-des matrix."""
+
+    app: str
+    engine: str
+    ok: bool
+    used_fastpath: bool
+    detail: str = ""
+    sim_time_fast: float = 0.0
+    sim_time_des: float = 0.0
+
+
+@dataclass
+class FastpathReport:
+    """Structured outcome of one fastpath-vs-des sweep."""
+
+    entries: list[FastpathEntry] = field(default_factory=list)
+    tol: float = FASTPATH_TOL
+
+    @property
+    def mismatches(self) -> list[FastpathEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        fast_cells = sum(1 for e in self.entries if e.used_fastpath)
+        lines = [
+            f"fastpath vs des: {len(self.entries)} cells "
+            f"({fast_cells} took the fast path), "
+            f"{len(self.mismatches)} mismatch(es), tol {self.tol:g}"
+        ]
+        for e in self.entries:
+            status = "ok" if e.ok else "MISMATCH"
+            mode = "fast" if e.used_fastpath else "des-fallback"
+            line = f"  {e.app:12s} x {e.engine:12s} {status} [{mode}]"
+            if e.detail:
+                line += f" — {e.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(f"({e.app}, {e.engine})" for e in self.mismatches)
+            raise VerificationError(
+                f"fastpath-vs-des mismatch in {named}\n{self.summary()}"
+            )
+
+
+def _close(a: float, b: float, tol: float) -> bool:
+    return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
+
+
+def _diff_runs(app, fast, des, tol: float) -> list[str]:
+    """Compare two runs of the same (app, engine) cell; returns problems."""
+    problems = []
+    if not _close(fast.sim_time, des.sim_time, tol):
+        problems.append(
+            f"sim_time {fast.sim_time!r} != {des.sim_time!r}"
+        )
+    for key in set(fast.metrics.stage_totals) | set(des.metrics.stage_totals):
+        a = fast.metrics.stage_totals.get(key, 0.0)
+        b = des.metrics.stage_totals.get(key, 0.0)
+        if not _close(a, b, tol):
+            problems.append(f"stage_totals[{key}] {a!r} != {b!r}")
+    for attr in ("bytes_h2d", "bytes_d2h", "n_chunks"):
+        a, b = getattr(fast.metrics, attr), getattr(des.metrics, attr)
+        if a != b:
+            problems.append(f"{attr} {a} != {b}")
+    if not app.outputs_equal(fast.output, des.output):
+        problems.append(
+            f"output {describe_output(fast.output)} != "
+            f"{describe_output(des.output)}"
+        )
+    return problems
+
+
+def run_fastpath_differential(
+    data_bytes: int = 2 * MiB,
+    seed: int = 7,
+    config: Optional[EngineConfig] = None,
+    apps: Optional[Iterable] = None,
+    engines: Optional[Iterable] = None,
+    tol: float = FASTPATH_TOL,
+) -> FastpathReport:
+    """Run every (app, engine) cell twice — fast path allowed vs DES forced —
+    and assert ``sim_time``/``stage_totals``/byte counters/outputs agree.
+
+    This is the oracle that lets the analytic pipeline ship: the DES is
+    the trusted model, and every cell must agree within ``tol`` (the fast
+    path targets bit-identical, so 1e-9 has huge margin). Cells where the
+    fast path declines (mapped writes, short runs) compare DES vs DES and
+    pass trivially — ``used_fastpath`` records which cells actually
+    exercised the analytic engine. Engine instances are reused between the
+    two runs of a cell, so schedule memoization is shared and only the
+    simulation layer differs.
+    """
+    config = config or EngineConfig(chunk_bytes=512 * 1024)
+    fast_config = config.with_(fastpath=True)
+    des_config = config.with_(fastpath=False)
+    apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
+    engines = (
+        list(engines) if engines is not None else [cls() for cls in ALL_ENGINES]
+    )
+
+    report = FastpathReport(tol=tol)
+    for app in apps:
+        data = app.generate(n_bytes=data_bytes, seed=seed)
+        for engine in engines:
+            fast = engine.run(app, data, fast_config)
+            des = engine.run(app, data, des_config)
+            problems = _diff_runs(app, fast, des, tol)
+            report.entries.append(
+                FastpathEntry(
+                    app=app.name,
+                    engine=engine.name,
+                    ok=not problems,
+                    used_fastpath=fast.trace is None and des.trace is not None,
+                    detail="; ".join(problems),
+                    sim_time_fast=fast.sim_time,
+                    sim_time_des=des.sim_time,
+                )
             )
     return report

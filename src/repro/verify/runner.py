@@ -1,10 +1,13 @@
-"""Orchestration for ``python -m repro verify``: the three pillars in one
-pass/fail sweep.
+"""Orchestration for ``python -m repro verify``: the verification pillars
+in one pass/fail sweep.
 
 1. **Invariant suite** — run BigKernel (aggregate mode) on every app and
    invariant-check each timeline; also one per-block high-fidelity run.
 2. **Differential suite** — every engine vs the serial oracle on every app.
 3. **Fuzz suite** — seeded random IR programs and pipeline schedules.
+4. **Fastpath suite** (``--fastpath``) — every (app, engine) cell run with
+   the analytic steady-state pipeline vs with the DES forced; totals must
+   agree within 1e-9 (see ``docs/performance.md``).
 
 ``--quick`` shrinks the datasets and iteration counts to CI scale.
 """
@@ -18,7 +21,12 @@ from repro.apps import ALL_APPS
 from repro.engines import BigKernelEngine, EngineConfig
 from repro.runtime.pipeline import run_pipeline_per_block
 from repro.units import MiB
-from repro.verify.differential import DifferentialReport, run_differential
+from repro.verify.differential import (
+    DifferentialReport,
+    FastpathReport,
+    run_differential,
+    run_fastpath_differential,
+)
 from repro.verify.fuzz import FuzzReport, run_fuzz
 from repro.verify.invariants import (
     InvariantReport,
@@ -34,6 +42,7 @@ class VerifySummary:
     invariant_reports: dict = field(default_factory=dict)  # name -> report
     differential: Optional[DifferentialReport] = None
     fuzz: Optional[FuzzReport] = None
+    fastpath: Optional[FastpathReport] = None
 
     @property
     def ok(self) -> bool:
@@ -41,6 +50,7 @@ class VerifySummary:
             all(r.ok for r in self.invariant_reports.values())
             and (self.differential is None or self.differential.ok)
             and (self.fuzz is None or self.fuzz.ok)
+            and (self.fastpath is None or self.fastpath.ok)
         )
 
     def summary(self) -> str:
@@ -59,6 +69,8 @@ class VerifySummary:
             lines.append(self.differential.summary())
         if self.fuzz is not None:
             lines.append(self.fuzz.summary())
+        if self.fastpath is not None:
+            lines.append(self.fastpath.summary())
         lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -68,34 +80,61 @@ def run_verify(
     seed: int = 7,
     data_bytes: Optional[int] = None,
     fuzz_iterations: Optional[int] = None,
+    fastpath: bool = False,
     emit: Callable[[str], None] = print,
 ) -> VerifySummary:
-    """Run the full verification sweep; ``emit`` narrates progress."""
+    """Run the full verification sweep; ``emit`` narrates progress.
+
+    ``fastpath=True`` appends the fastpath-vs-des differential: the full
+    app x engine matrix with the analytic pipeline allowed vs DES forced,
+    asserting the totals agree within 1e-9.
+    """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
     config = EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
+    # the invariant checkers consume full timelines, which the analytic
+    # fast path deliberately skips: pin the DES for pillar 1
+    traced_config = config.with_(fastpath=False)
+    n_pillars = 4 if fastpath else 3
     summary = VerifySummary()
 
-    emit(f"[1/3] invariant suite: BigKernel timelines over {len(ALL_APPS)} apps")
+    emit(
+        f"[1/{n_pillars}] invariant suite: BigKernel timelines over "
+        f"{len(ALL_APPS)} apps"
+    )
     engine = BigKernelEngine()
     for cls in ALL_APPS:
         app = cls()
         data = app.generate(n_bytes=data_bytes, seed=seed)
-        res = engine.run(app, data, config)
-        summary.invariant_reports[f"bigkernel/{app.name}"] = verify_run(res, config)
+        res = engine.run(app, data, traced_config)
+        summary.invariant_reports[f"bigkernel/{app.name}"] = verify_run(
+            res, traced_config
+        )
     summary.invariant_reports["pipeline/per-block"] = _per_block_check(
         config, engine, seed, data_bytes
     )
 
-    emit("[2/3] differential suite: engines vs cpu_serial oracle")
+    emit(f"[2/{n_pillars}] differential suite: engines vs cpu_serial oracle")
     summary.differential = run_differential(
         data_bytes=data_bytes, seed=seed, config=config
     )
 
-    emit(f"[3/3] fuzz suite: {fuzz_n} IR + {fuzz_n} pipeline cases, seed {seed}")
+    emit(
+        f"[3/{n_pillars}] fuzz suite: {fuzz_n} IR + {fuzz_n} pipeline cases, "
+        f"seed {seed}"
+    )
     summary.fuzz = run_fuzz(
         ir_iterations=fuzz_n, pipeline_iterations=fuzz_n, seed=seed
     )
+
+    if fastpath:
+        emit(
+            f"[4/{n_pillars}] fastpath suite: analytic pipeline vs DES, "
+            f"full app x engine matrix"
+        )
+        summary.fastpath = run_fastpath_differential(
+            data_bytes=data_bytes, seed=seed, config=config
+        )
     return summary
 
 

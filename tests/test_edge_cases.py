@@ -63,7 +63,9 @@ class TestDeterminism:
     def test_bigkernel_trace_deterministic(self):
         app = get_app("netflix")
         data = app.generate(n_bytes=1 * MiB, seed=5)
-        cfg = EngineConfig(chunk_bytes=256 * 1024)
+        # force the DES: the analytic fast path intentionally records
+        # no trace (repro.runtime.fastpath)
+        cfg = EngineConfig(chunk_bytes=256 * 1024, fastpath=False)
         t1 = BigKernelEngine().run(app, data, cfg).trace
         t2 = BigKernelEngine().run(app, data, cfg).trace
         assert len(t1) == len(t2)
