@@ -11,6 +11,9 @@ Commands mirror the library's surfaces:
 * ``verify`` — invariant + differential + fuzz verification sweep
   (see ``docs/verification.md``); ``--fastpath`` adds the analytic-vs-DES
   differential; exits nonzero on any violation;
+* ``chaos`` — fault-injection sweep: the app x engine matrix under a
+  seeded fault grid, with differential + invariant verification per cell
+  (see ``docs/faults.md``); exits nonzero on any failing cell;
 * ``sweep`` — autotune one engine/app pair over the default grid, with
   ``--jobs`` for parallel evaluation (see ``docs/performance.md``).
 """
@@ -168,6 +171,23 @@ def cmd_verify(args) -> int:
     return 0 if summary.ok else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.faults import run_chaos
+
+    report = run_chaos(
+        quick=args.quick,
+        seed=args.seed,
+        data_bytes=args.data_mib * MiB if args.data_mib else None,
+    )
+    print(report.summary())
+    print(f"fingerprint: {report.fingerprint()}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            fh.write(report.to_json())
+        print(f"wrote {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_sweep(args) -> int:
     from repro.apps import get_app
     from repro.bench.report import render_table
@@ -255,6 +275,21 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the fastpath-vs-des differential "
                           "(analytic pipeline against the simulator)")
 
+    p_c = sub.add_parser(
+        "chaos",
+        help="fault-injection sweep: app x engine matrix under a fault grid "
+             "(see docs/faults.md)",
+    )
+    p_c.add_argument("--quick", action="store_true",
+                     help="CI scale: one app, 1 MiB datasets")
+    p_c.add_argument("--seed", type=int, default=7,
+                     help="fault-grid + data seed (same seed => identical "
+                          "FaultReport)")
+    p_c.add_argument("--data-mib", type=int, default=0,
+                     help="dataset size (MiB); 0 = sweep default")
+    p_c.add_argument("--json", default="",
+                     help="also write the FaultReport JSON to this path")
+
     p_sw = sub.add_parser(
         "sweep", help="autotune one engine/app pair over the default grid"
     )
@@ -283,6 +318,7 @@ def main(argv=None) -> int:
         "hw": cmd_hw,
         "trace": cmd_trace,
         "verify": cmd_verify,
+        "chaos": cmd_chaos,
         "sweep": cmd_sweep,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,

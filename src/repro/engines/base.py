@@ -8,6 +8,7 @@ from typing import Any, Optional
 
 from repro.apps.base import AccessProfile, AppData, Application
 from repro.errors import RuntimeConfigError
+from repro.faults.plan import FaultPlan
 from repro.hw.spec import DEFAULT_HARDWARE, HardwareSpec
 from repro.sim.trace import TraceRecorder
 from repro.units import MiB
@@ -42,6 +43,9 @@ class EngineConfig:
     #: False skips it — timing-only runs for sweeps and perf benchmarks,
     #: where ``RunResult.output`` is None
     functional: bool = True
+    #: deterministic fault plan (``repro.faults``); None = clean run. An
+    #: active plan forces the DES and engages the degradation policies
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         if self.chunk_bytes < 1024:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Optional
 
 import numpy as np
@@ -33,7 +33,9 @@ from repro.engines.gpu_common import (
     kernel_chunk_cost,
     original_access_pattern,
 )
-from repro.errors import SlicingError
+from repro.errors import PinnedMemoryExceeded, SlicingError
+from repro.faults.inject import FaultInjector
+from repro.faults.policies import degrade_buffer_plan
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
 from repro.hw.gpu_memory import GpuMemoryAllocator
@@ -121,6 +123,9 @@ class BigKernelSchedule:
     reduce_volume: bool
     active_blocks: int
     workers: int
+    #: what the degradation policies gave up under an injected fault
+    #: (``ring_shrunk_to``, ``blocks_shrunk_to``); empty on clean runs
+    degradations: dict = dataclass_field(default_factory=dict)
 
 
 class BigKernelEngine(Engine):
@@ -224,12 +229,19 @@ class BigKernelEngine(Engine):
 
     def _allocate_buffers(
         self, config: EngineConfig, writes: bool
-    ) -> tuple[int, BufferConfig]:
+    ) -> tuple[int, BufferConfig, dict]:
         """Plan active blocks and allocate their buffer sets for real.
 
-        The plan depends only on hardware and buffer geometry, so it is
-        memoized on exactly those fields; a cache hit skips re-running the
-        pinned/GPU allocator exercise."""
+        The plan depends only on hardware, buffer geometry and any pinned
+        fault plan, so it is memoized on exactly those fields; a cache hit
+        skips re-running the pinned/GPU allocator exercise.
+
+        Under injected pinned-memory pressure (``faults.pinned.deny``) the
+        degradation policy shrinks the ring toward depth 2 and then the
+        active-block count until the set fits; the returned dict records
+        what was given up. When nothing fits,
+        :class:`~repro.errors.PinnedMemoryExceeded` propagates and
+        :meth:`run` falls back to plain double-buffering."""
         cache_key = (
             config.hardware,
             config.chunk_bytes,
@@ -237,6 +249,7 @@ class BigKernelEngine(Engine):
             config.compute_threads,
             config.ring_depth,
             writes,
+            config.faults,
         )
         if cache_key in self._buffer_cache:
             self._buffer_cache.move_to_end(cache_key)
@@ -251,17 +264,27 @@ class BigKernelEngine(Engine):
             write_buf_bytes=per_block // 4 if writes else 0,
         )
         plan = plan_blocks(gpu_dev, layout, buf_cfg, config.num_blocks)
-        pinned = PinnedAllocator(config.hardware.cpu.dram_bytes // 2)
+        active_blocks = plan.active_blocks
+        pinned_limit = config.hardware.cpu.dram_bytes // 2
+        deny = (
+            config.faults.pinned_deny_after() if config.faults is not None else None
+        )
+        degradations: dict = {}
+        if deny is not None:
+            buf_cfg, active_blocks, degradations = degrade_buffer_plan(
+                buf_cfg, active_blocks, min(pinned_limit, deny)
+            )
+        pinned = PinnedAllocator(pinned_limit, deny_after_bytes=deny)
         gpu_mem = GpuMemoryAllocator(config.hardware.gpu.global_mem_bytes)
-        blocks = [BlockBuffers(b, buf_cfg) for b in range(plan.active_blocks)]
+        blocks = [BlockBuffers(b, buf_cfg) for b in range(active_blocks)]
         for bb in blocks:
             bb.allocate(pinned, gpu_mem)
         for bb in blocks:
             bb.release(pinned, gpu_mem)
-        self._buffer_cache[cache_key] = (plan.active_blocks, buf_cfg)
+        self._buffer_cache[cache_key] = (active_blocks, buf_cfg, degradations)
         if len(self._buffer_cache) > self._BUFFER_CACHE_MAX:
             self._buffer_cache.popitem(last=False)
-        return plan.active_blocks, buf_cfg
+        return active_blocks, buf_cfg, degradations
 
     # ----------------------------------------------------------- schedule
     def _schedule(
@@ -294,6 +317,7 @@ class BigKernelEngine(Engine):
             config.compute_threads,
             config.ring_depth,
             config.pattern_recognition,
+            config.faults,
         )
         if cache_key in self._schedule_cache:
             self._schedule_cache.move_to_end(cache_key)
@@ -318,7 +342,9 @@ class BigKernelEngine(Engine):
             pattern_fraction = self._sample_pattern_fraction(app, data, config, upc)
         pattern_on = config.pattern_recognition and pattern_fraction >= 0.5
 
-        active_blocks, buf_cfg = self._allocate_buffers(config, app.writes_mapped)
+        active_blocks, buf_cfg, degradations = self._allocate_buffers(
+            config, app.writes_mapped
+        )
         workers = (
             workers_override
             if workers_override is not None
@@ -425,7 +451,9 @@ class BigKernelEngine(Engine):
             )
 
         pipe_cfg = PipelineConfig(
-            ring_depth=config.ring_depth,
+            # the ring may have been shrunk by the degradation policy;
+            # clean runs keep buf_cfg.instances == config.ring_depth
+            ring_depth=buf_cfg.instances,
             cpu_workers=2,  # aggregate stage times are pre-divided by workers
             sync_overhead=sync_overhead,
         )
@@ -439,6 +467,7 @@ class BigKernelEngine(Engine):
             reduce_volume=reduce_volume,
             active_blocks=active_blocks,
             workers=workers,
+            degradations=degradations,
         )
         self._schedule_cache[cache_key] = sched
         if len(self._schedule_cache) > self._SCHEDULE_CACHE_MAX:
@@ -455,13 +484,35 @@ class BigKernelEngine(Engine):
         config = config or EngineConfig()
         hw = config.hardware
         gpu = GpuDevice(hw.gpu)
-        sched = self._schedule(app, data, config)
+        try:
+            sched = self._schedule(app, data, config)
+        except PinnedMemoryExceeded as exc:
+            if config.faults is not None and config.faults.active():
+                # last degradation rung: even the minimum plan (two-deep
+                # ring, one block) does not fit under the injected pinned
+                # pressure — fall back to plain double-buffering, which
+                # needs no pinned prefetch/address buffers (the paper's
+                # fall-back-to-all-data spirit, applied to memory pressure)
+                from repro.engines.gpu_double import GpuDoubleBufferEngine
+
+                fallback = GpuDoubleBufferEngine().run(app, data, config)
+                fallback.metrics.notes["degraded_from"] = self.name
+                fallback.metrics.notes["degraded_reason"] = (
+                    f"pinned-memory-pressure: {exc}"
+                )
+                return fallback
+            raise
         chunks, upc = sched.chunks, sched.upc
         pattern_fraction, pattern_on = sched.pattern_fraction, sched.pattern_on
         sliceable, reduce_volume = sched.sliceable, sched.reduce_volume
         active_blocks, workers = sched.active_blocks, sched.workers
 
-        result = run_pipeline(hw, chunks, sched.pipe_cfg, fastpath=config.fastpath)
+        injector = None
+        if config.faults is not None and config.faults.active():
+            injector = FaultInjector(config.faults)
+        result = run_pipeline(
+            hw, chunks, sched.pipe_cfg, fastpath=config.fastpath, faults=injector
+        )
         # BigKernel launches ONE kernel for the whole computation.
         sim_time = result.total_time + gpu.spec.kernel_launch_overhead
 
@@ -492,6 +543,10 @@ class BigKernelEngine(Engine):
                 "workers": workers,
             },
         )
+        if sched.degradations:
+            metrics.notes["degradations"] = dict(sched.degradations)
+        if injector is not None:
+            metrics.notes["fault_stats"] = injector.stats()
         return RunResult(
             self.name, app.name, output, sim_time, metrics, trace=result.trace
         )

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.apps.base import AppData, Application
 from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
 from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
+from repro.faults.inject import FaultInjector
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
 from repro.runtime.fastpath import TemplatedChunks
@@ -80,11 +81,15 @@ class GpuDoubleBufferEngine(Engine):
                 chunk_costs(upc), n_full, chunk_costs(rem), profile.passes
             )
 
+        injector = None
+        if config.faults is not None and config.faults.active():
+            injector = FaultInjector(config.faults)
         result = run_pipeline(
             hw,
             chunks,
             PipelineConfig(ring_depth=2, cpu_workers=1),
             fastpath=config.fastpath,
+            faults=injector,
         )
         sim_time = result.total_time
 
@@ -108,6 +113,8 @@ class GpuDoubleBufferEngine(Engine):
             kernel_launches=len(chunks),
             notes={"units_per_chunk": upc},
         )
+        if injector is not None:
+            metrics.notes["fault_stats"] = injector.stats()
         return RunResult(
             self.name, app.name, output, sim_time, metrics, trace=result.trace
         )

@@ -76,6 +76,32 @@ class SynchronizationError(ReproError):
     """Pipeline synchronization protocol violation (e.g. consume-before-produce)."""
 
 
+class FaultError(ReproError):
+    """Errors raised by the fault-injection subsystem (``repro.faults``)."""
+
+
+class FaultConfigError(FaultError):
+    """A :class:`~repro.faults.plan.FaultPlan` primitive got invalid arguments."""
+
+
+class DmaFaultError(FaultError):
+    """An injected DMA error persisted past the retry policy's attempt budget.
+
+    The degradation policy (``repro.faults.policies``) retries a failed DMA
+    with exponential backoff; when the injected fault outlives the budget,
+    the transfer is declared permanently failed and this error propagates
+    out of the simulated run.
+    """
+
+
+class DegradationError(FaultError):
+    """No degradation policy could absorb the injected fault.
+
+    Raised when, e.g., pinned-memory pressure cannot be satisfied even at the
+    minimum ring depth and block count and no engine fallback applies.
+    """
+
+
 class ApplicationError(ReproError):
     """Errors raised by the benchmark applications."""
 

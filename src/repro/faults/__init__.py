@@ -1,0 +1,71 @@
+"""Deterministic fault injection and graceful degradation.
+
+The package has four layers:
+
+* :mod:`repro.faults.plan` — the immutable, seeded :class:`FaultPlan` DSL
+  (``plan.pcie.degrade(...)``, ``plan.dma.error(...)``,
+  ``plan.assembly.stall(...)``, ``plan.pinned.deny(...)``);
+* :mod:`repro.faults.inject` — the per-run :class:`FaultInjector` the
+  runtime hooks consult;
+* :mod:`repro.faults.policies` — the degradation policies (DMA retry with
+  exponential backoff, ring-depth/block shrink under pinned pressure);
+* :mod:`repro.faults.chaos` — the ``python -m repro chaos`` sweep producing
+  a :class:`~repro.faults.report.FaultReport`.
+
+``chaos`` is imported lazily: it pulls in the engines, which themselves
+import this package (``EngineConfig.faults`` is a :class:`FaultPlan`), so
+an eager import would be circular.
+
+See ``docs/faults.md`` for the full story.
+"""
+
+from repro.faults.inject import DmaOutcome, FaultInjector, as_injector
+from repro.faults.plan import (
+    AssemblyStall,
+    DmaError,
+    FaultPlan,
+    PcieDegrade,
+    PinnedDeny,
+)
+from repro.faults.policies import (
+    BACKOFF_BASE,
+    MAX_DMA_ATTEMPTS,
+    backoff_delay,
+    degrade_buffer_plan,
+    retry_schedule,
+)
+from repro.faults.report import FaultCell, FaultReport
+
+__all__ = [
+    "FaultPlan",
+    "PcieDegrade",
+    "DmaError",
+    "AssemblyStall",
+    "PinnedDeny",
+    "FaultInjector",
+    "DmaOutcome",
+    "as_injector",
+    "MAX_DMA_ATTEMPTS",
+    "BACKOFF_BASE",
+    "backoff_delay",
+    "retry_schedule",
+    "degrade_buffer_plan",
+    "FaultCell",
+    "FaultReport",
+    "run_chaos",
+    "default_fault_grid",
+]
+
+
+def __getattr__(name):
+    if name in ("run_chaos", "default_fault_grid", "chaos"):
+        # importlib, not ``from repro.faults import chaos``: the from-import
+        # would re-enter this __getattr__ while the submodule is still
+        # loading and recurse.
+        import importlib
+
+        _chaos = importlib.import_module("repro.faults.chaos")
+        if name == "chaos":
+            return _chaos
+        return getattr(_chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

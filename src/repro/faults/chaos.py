@@ -1,0 +1,124 @@
+"""The chaos sweep: an app x engine matrix under a grid of fault plans.
+
+For every cell the runner executes the engine clean (no plan), then under
+the plan, and checks that graceful degradation actually was graceful:
+
+* the faulted run completes (or raises a *typed*
+  :class:`~repro.errors.ReproError` subclass — anything else is a bug);
+* the functional output still matches the ``cpu_serial`` oracle
+  bit-for-bit (fault handling must never corrupt data);
+* the faulted timeline passes every trace invariant — including byte
+  conservation, which proves retried DMA attempts are accounted separately
+  from delivered payload.
+
+Everything is seeded and deterministic: the same seed produces a
+byte-identical :class:`~repro.faults.report.FaultReport`
+(``report.fingerprint()`` is the contract ``tests/test_faults.py`` pins).
+Exposed as ``python -m repro chaos [--quick]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.apps import KMeansApp, WordCountApp
+from repro.engines import (
+    BigKernelEngine,
+    CpuSerialEngine,
+    EngineConfig,
+    GpuDoubleBufferEngine,
+)
+from repro.errors import ReproError
+from repro.faults.plan import FaultPlan
+from repro.faults.report import FaultCell, FaultReport
+from repro.units import MiB
+from repro.verify.invariants import verify_run
+
+
+def default_fault_grid(seed: int = 7) -> tuple[FaultPlan, ...]:
+    """One plan per primitive — the standard 4-fault chaos grid."""
+    return (
+        FaultPlan(seed=seed, name="pcie-degrade").pcie.degrade(gbps=2.0),
+        FaultPlan(seed=seed, name="dma-retry").dma.error(chunk=1, retries=2),
+        FaultPlan(seed=seed, name="assembly-stall").assembly.stall(ms=0.05),
+        FaultPlan(seed=seed, name="pinned-pressure").pinned.deny(
+            after_bytes=1 * MiB
+        ),
+    )
+
+
+def run_chaos(
+    quick: bool = False,
+    seed: int = 7,
+    data_bytes: Optional[int] = None,
+    apps: Optional[Iterable] = None,
+    engines: Optional[Iterable] = None,
+    plans: Optional[Iterable[FaultPlan]] = None,
+    config: Optional[EngineConfig] = None,
+) -> FaultReport:
+    """Run the fault grid over the app x engine matrix.
+
+    ``quick`` is CI scale: one app, 1 MiB datasets. The full sweep covers a
+    write-free app (wordcount) and a mapped-writes app (kmeans, which
+    exercises the 6-stage pipeline and the pinned write-landing buffers).
+    """
+    data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
+    config = config or EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
+    apps = (
+        list(apps)
+        if apps is not None
+        else ([WordCountApp()] if quick else [WordCountApp(), KMeansApp()])
+    )
+    engines = (
+        list(engines)
+        if engines is not None
+        else [GpuDoubleBufferEngine(), BigKernelEngine()]
+    )
+    plans = tuple(plans) if plans is not None else default_fault_grid(seed)
+
+    report = FaultReport(seed=seed)
+    oracle = CpuSerialEngine()
+    for app in apps:
+        data = app.generate(n_bytes=data_bytes, seed=seed)
+        ref = oracle.run(app, data, config)
+        for engine in engines:
+            clean = engine.run(app, data, config)
+            for plan in plans:
+                cfg = config.with_(faults=plan)
+                cell = FaultCell(
+                    app=app.name,
+                    engine=engine.name,
+                    plan=plan.name or plan.describe(),
+                    clean_time=clean.sim_time,
+                )
+                try:
+                    res = engine.run(app, data, cfg)
+                except ReproError as exc:
+                    # a typed error is a *policy decision* (e.g. a DMA fault
+                    # past the retry budget), not a crash — but the default
+                    # grid is recoverable, so it still fails the cell
+                    cell.ok = False
+                    cell.error = type(exc).__name__
+                    cell.detail = str(exc)
+                else:
+                    cell.fault_time = res.sim_time
+                    problems = []
+                    if not app.outputs_equal(ref.output, res.output):
+                        problems.append("output mismatch vs cpu_serial")
+                    if res.trace is not None:
+                        inv = verify_run(res, cfg)
+                        if not inv.ok:
+                            problems.append(inv.summary())
+                    cell.degradations = dict(
+                        res.metrics.notes.get("degradations", {})
+                    )
+                    if "degraded_from" in res.metrics.notes:
+                        cell.degradations["fallback"] = (
+                            f"{res.metrics.notes['degraded_from']}->{res.engine}"
+                        )
+                    cell.stats = dict(res.metrics.notes.get("fault_stats", {}))
+                    if problems:
+                        cell.ok = False
+                        cell.detail = "; ".join(problems)
+                report.cells.append(cell)
+    return report

@@ -1,0 +1,148 @@
+"""Per-run fault-injection state.
+
+A :class:`FaultInjector` is the mutable companion of an immutable
+:class:`~repro.faults.plan.FaultPlan`: one injector is created per simulated
+run, the hooks in :class:`~repro.hw.pcie.PcieLink` and
+:mod:`repro.runtime.pipeline` consult it, and it keeps deterministic
+bookkeeping (retries injected, stalls applied, transfers degraded) that the
+chaos runner folds into its :class:`~repro.faults.report.FaultReport`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.faults.plan import (
+    AssemblyStall,
+    DmaError,
+    FaultPlan,
+    PcieDegrade,
+    PinnedDeny,
+)
+from repro.faults.policies import retry_schedule
+
+
+@dataclass(frozen=True)
+class DmaOutcome:
+    """Resolved injection for one transfer: the attempts it must burn."""
+
+    #: backoff delay after each failed attempt (len == failed attempts)
+    backoffs: tuple
+    #: True when the transfer must be declared permanently failed afterwards
+    fatal: bool
+
+
+class FaultInjector:
+    """Answers the runtime's "does anything go wrong *here*?" questions."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self._degrades = sorted(
+            self.plan.of_type(PcieDegrade), key=lambda e: (e.at, e.bandwidth)
+        )
+        self._dma = self.plan.of_type(DmaError)
+        self._stalls = self.plan.of_type(AssemblyStall)
+        self._denies = self.plan.of_type(PinnedDeny)
+        # deterministic bookkeeping
+        self.retries_injected = 0
+        self.fatal_dmas = 0
+        self.stalls_injected = 0
+        self.stall_time = 0.0
+        self.degraded_transfers = 0
+
+    # -- activity queries --------------------------------------------------
+    @property
+    def active(self) -> bool:
+        return self.plan.active()
+
+    # -- PCIe bandwidth degradation ---------------------------------------
+    def bandwidth_cap(self, now: float) -> Optional[float]:
+        """Lowest injected bandwidth cap in effect at time ``now`` (bytes/s)."""
+        caps = [d.bandwidth for d in self._degrades if d.at <= now]
+        return min(caps) if caps else None
+
+    def transfer_time(
+        self, spec, nbytes: int, pinned: bool, segments: int, now: float
+    ) -> float:
+        """Duration of one DMA under any degradation active at ``now``.
+
+        Mirrors :meth:`repro.hw.spec.PcieSpec.transfer_time` exactly when no
+        cap applies, so clean runs are bit-identical with or without an
+        injector attached.
+        """
+        cap = self.bandwidth_cap(now)
+        if cap is None:
+            return spec.transfer_time(nbytes, pinned, segments)
+        if segments < 1:
+            raise ValueError(f"segments must be >= 1, got {segments}")
+        if nbytes <= 0:
+            return spec.latency * segments
+        bw = spec.pinned_bandwidth if pinned else spec.pageable_bandwidth
+        if cap < bw:
+            self.degraded_transfers += 1
+            bw = cap
+        return spec.latency * segments + nbytes / bw
+
+    # -- DMA errors --------------------------------------------------------
+    def dma_outcome(
+        self, label: str, direction: str, chunk: Optional[int]
+    ) -> Optional[DmaOutcome]:
+        """The injected failure schedule for this transfer, if any."""
+        if chunk is None or not self._dma:
+            return None
+        retries = sum(
+            e.retries
+            for e in self._dma
+            if e.chunk == chunk and e.direction == direction and e.stage == label
+        )
+        if retries == 0:
+            return None
+        backoffs, fatal = retry_schedule(retries)
+        return DmaOutcome(backoffs=backoffs, fatal=fatal)
+
+    def note_retry(self) -> None:
+        self.retries_injected += 1
+
+    def note_fatal(self) -> None:
+        self.fatal_dmas += 1
+
+    # -- assembly stalls ---------------------------------------------------
+    def assembly_stall(self, chunk: int) -> float:
+        """Extra seconds the assembly of ``chunk`` must stall."""
+        return sum(
+            s.seconds for s in self._stalls if s.chunk is None or s.chunk == chunk
+        )
+
+    def note_stall(self, seconds: float) -> None:
+        self.stalls_injected += 1
+        self.stall_time += seconds
+
+    # -- pinned pressure ---------------------------------------------------
+    def pinned_deny_after(self) -> Optional[int]:
+        return min(d.after_bytes for d in self._denies) if self._denies else None
+
+    # -- reporting ---------------------------------------------------------
+    def stats(self) -> dict:
+        """Deterministic summary of what was actually injected this run."""
+        return {
+            "plan": self.plan.describe(),
+            "retries_injected": self.retries_injected,
+            "fatal_dmas": self.fatal_dmas,
+            "stalls_injected": self.stalls_injected,
+            "stall_time": self.stall_time,
+            "degraded_transfers": self.degraded_transfers,
+        }
+
+
+def as_injector(faults) -> Optional[FaultInjector]:
+    """Coerce None / FaultPlan / FaultInjector to an optional injector."""
+    if faults is None:
+        return None
+    if isinstance(faults, FaultInjector):
+        return faults
+    if isinstance(faults, FaultPlan):
+        return FaultInjector(faults)
+    raise TypeError(
+        f"faults must be a FaultPlan or FaultInjector, got {type(faults).__name__}"
+    )

@@ -1,0 +1,96 @@
+"""Graceful-degradation policies.
+
+Three policies absorb injected faults instead of letting the run die:
+
+* **DMA retry with exponential backoff** — a failed DMA is re-issued on the
+  same channel grant (preserving the per-direction FIFO order the
+  completion-flag trick relies on) after ``BACKOFF_BASE * 2**attempt``
+  seconds, up to :data:`MAX_DMA_ATTEMPTS` failed attempts. Past the budget
+  the transfer is permanently failed (:class:`~repro.errors.DmaFaultError`).
+* **Ring-depth shrink under pinned-memory pressure**
+  (:func:`degrade_buffer_plan`) — when pinned allocations are denied,
+  BigKernel first shrinks the buffer ring toward the paper's minimum of two
+  instances, then reduces the active-block count, before giving up.
+* **Engine fallback** — when even the minimum buffer plan does not fit,
+  :class:`~repro.engines.bigkernel.BigKernelEngine` degrades to plain GPU
+  double-buffering (mirroring the paper's fall-back-to-all-data behaviour
+  for unsliceable kernels); the analytic fast path likewise yields to the
+  discrete-event simulator whenever a plan is active, because injected
+  faults make the timeline heterogeneous in ways the closed form cannot
+  cover.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import PinnedMemoryExceeded
+
+#: failed attempts tolerated per transfer before it is declared dead
+#: (1 initial attempt + 3 retries)
+MAX_DMA_ATTEMPTS = 4
+
+#: backoff before re-issuing a failed DMA (seconds); doubles per attempt
+BACKOFF_BASE = 50e-6
+
+
+def backoff_delay(attempt: int) -> float:
+    """Delay before retry number ``attempt`` (1-based) of a failed DMA."""
+    if attempt < 1:
+        raise ValueError(f"attempt must be >= 1, got {attempt}")
+    return BACKOFF_BASE * (2 ** (attempt - 1))
+
+
+def retry_schedule(retries: int) -> tuple[tuple[float, ...], bool]:
+    """``(backoffs, fatal)`` for a transfer injected with ``retries`` failures.
+
+    ``backoffs[i]`` is the wait after failed attempt ``i+1``. ``fatal`` is
+    True when the injected failure count exhausts the attempt budget, in
+    which case the caller must raise after performing the listed attempts.
+    """
+    n_failed = min(retries, MAX_DMA_ATTEMPTS)
+    fatal = retries >= MAX_DMA_ATTEMPTS
+    # no point backing off after the terminal attempt
+    backoffs = tuple(
+        backoff_delay(a) for a in range(1, n_failed + (0 if fatal else 1))
+    )[:n_failed]
+    if fatal and backoffs:
+        backoffs = backoffs[:-1] + (0.0,)
+    return backoffs, fatal
+
+
+def degrade_buffer_plan(
+    buf_cfg,
+    active_blocks: int,
+    pinned_budget: int,
+    min_instances: int = 2,
+) -> tuple[object, int, dict]:
+    """Shrink a buffer plan until its pinned footprint fits ``pinned_budget``.
+
+    Tries ring depths from the configured one down to ``min_instances``
+    (the paper's hard floor for producer/consumer overlap), and at each
+    depth takes as many active blocks as the budget affords. Returns
+    ``(buf_cfg, active_blocks, degradations)`` where ``degradations``
+    records what was given up; raises
+    :class:`~repro.errors.PinnedMemoryExceeded` when even one block at the
+    minimum depth does not fit.
+    """
+    if active_blocks < 1:
+        raise ValueError(f"active_blocks must be >= 1, got {active_blocks}")
+    for instances in range(buf_cfg.instances, min_instances - 1, -1):
+        candidate = buf_cfg.with_instances(instances)
+        per_block = candidate.pinned_bytes_per_block()
+        blocks = min(active_blocks, pinned_budget // per_block)
+        if blocks >= 1:
+            degradations: dict = {}
+            if instances != buf_cfg.instances:
+                degradations["ring_shrunk_to"] = instances
+            if blocks != active_blocks:
+                degradations["blocks_shrunk_to"] = int(blocks)
+            return candidate, int(blocks), degradations
+    raise PinnedMemoryExceeded(
+        f"pinned budget {pinned_budget} cannot hold even one block's buffer "
+        f"set at ring depth {min_instances} "
+        f"({buf_cfg.with_instances(min_instances).pinned_bytes_per_block()} "
+        f"bytes needed)"
+    )

@@ -1,0 +1,100 @@
+"""Structured results of a chaos sweep.
+
+Pure data — no engine or app imports — so the bench harness and the tests
+can consume :class:`FaultReport` without pulling the whole runtime in. A
+report serializes to canonical JSON (:meth:`FaultReport.to_json`) and hashes
+to a :meth:`FaultReport.fingerprint`, which is how determinism is asserted:
+two chaos runs with the same seed must produce byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import VerificationError
+
+
+@dataclass
+class FaultCell:
+    """One (app, engine, plan) cell of the chaos matrix."""
+
+    app: str
+    engine: str
+    plan: str
+    ok: bool = True
+    #: sim_time of the fault-free run of the same (app, engine) pair
+    clean_time: float = 0.0
+    #: sim_time under the fault plan (0.0 when the run raised)
+    fault_time: float = 0.0
+    #: exception type name when the run raised a typed ReproError
+    error: str = ""
+    detail: str = ""
+    #: what the degradation policies gave up (ring depth, blocks, fallback)
+    degradations: dict = field(default_factory=dict)
+    #: the injector's bookkeeping (retries, stalls, degraded transfers)
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def slowdown(self) -> float:
+        """Faulted time over clean time (0.0 when either is unknown)."""
+        if self.clean_time > 0 and self.fault_time > 0:
+            return self.fault_time / self.clean_time
+        return 0.0
+
+
+@dataclass
+class FaultReport:
+    """Outcome of one ``python -m repro chaos`` sweep."""
+
+    seed: int = 0
+    cells: list[FaultCell] = field(default_factory=list)
+
+    @property
+    def failures(self) -> list[FaultCell]:
+        return [c for c in self.cells if not c.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"chaos seed={self.seed}: {len(self.cells)} cell(s), "
+            f"{len(self.failures)} failure(s)"
+        ]
+        for c in self.cells:
+            status = "ok" if c.ok else "FAIL"
+            line = f"  {c.app:12s} x {c.engine:12s} x {c.plan:16s} {status}"
+            if c.error:
+                line += f" [{c.error}]"
+            elif c.slowdown:
+                line += f" {c.slowdown:6.2f}x slowdown"
+            if c.degradations:
+                parts = ", ".join(f"{k}={v}" for k, v in sorted(c.degradations.items()))
+                line += f" ({parts})"
+            if not c.ok and c.detail:
+                line += f" — {c.detail.splitlines()[0]}"
+            lines.append(line)
+        lines.append("chaos: " + ("PASS" if self.ok else "FAIL"))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        """Canonical JSON (sorted keys) — the determinism contract."""
+        payload = {
+            "seed": self.seed,
+            "cells": [asdict(c) for c in self.cells],
+        }
+        return json.dumps(payload, sort_keys=True, default=str)
+
+    def fingerprint(self) -> str:
+        """SHA-256 of the canonical JSON; equal seeds ⇒ equal fingerprints."""
+        return hashlib.sha256(self.to_json().encode()).hexdigest()
+
+    def raise_if_failed(self) -> None:
+        if self.failures:
+            named = ", ".join(
+                f"({c.app}, {c.engine}, {c.plan})" for c in self.failures
+            )
+            raise VerificationError(f"chaos failure in {named}\n{self.summary()}")

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Generator, Optional
 
-from repro.errors import HardwareError
+from repro.errors import DmaFaultError, HardwareError
 from repro.hw.spec import PcieSpec
 from repro.sim.core import Environment, Event
 from repro.sim.resources import Resource
@@ -53,16 +53,22 @@ class PcieLink:
         env: Environment,
         spec: PcieSpec,
         trace: Optional[TraceRecorder] = None,
+        faults=None,
     ):
         self.env = env
         self.spec = spec
         self.trace = trace
+        #: optional :class:`~repro.faults.inject.FaultInjector`
+        self.faults = faults
         self._channels = {
             H2D: Resource(env, capacity=1, name="pcie-h2d"),
             D2H: Resource(env, capacity=1, name="pcie-d2h"),
         }
         self.bytes_moved = {H2D: 0, D2H: 0}
         self.transfer_count = {H2D: 0, D2H: 0}
+        #: bytes burnt by failed (retried) DMA attempts — deliberately kept
+        #: out of ``bytes_moved``, which counts delivered payload only
+        self.bytes_retried = {H2D: 0, D2H: 0}
 
     def transfer_time(
         self, nbytes: int, pinned: bool = True, segments: int = 1
@@ -79,14 +85,60 @@ class PcieLink:
         """
         return self.env.process(self._do_transfer(req))
 
+    def _attempt_time(self, req: TransferRequest) -> float:
+        """Duration of one DMA attempt, honouring any injected degradation
+        in effect at its start (clean path: identical to transfer_time)."""
+        if self.faults is not None:
+            return self.faults.transfer_time(
+                self.spec, req.nbytes, req.pinned, req.segments, self.env.now
+            )
+        return self.transfer_time(req.nbytes, req.pinned, req.segments)
+
     def _do_transfer(self, req: TransferRequest) -> Generator:
         channel = self._channels[req.direction]
+        inj = self.faults
         with channel.request() as grant:
             yield grant
+            # Injected DMA errors: the failed attempts and their backoffs
+            # run while the channel grant is held — releasing it would let
+            # the trailing completion-flag DMA overtake the data on the
+            # FIFO, breaking the in-order trick of Section IV-C.
+            outcome = None
+            if inj is not None and not req.label.endswith("-flag"):
+                outcome = inj.dma_outcome(
+                    req.label, req.direction, req.meta.get("chunk")
+                )
+            if outcome is not None:
+                for attempt, backoff in enumerate(outcome.backoffs, start=1):
+                    start = self.env.now
+                    yield self.env.timeout(self._attempt_time(req))
+                    self.bytes_retried[req.direction] += req.nbytes
+                    inj.note_retry()
+                    if self.trace is not None:
+                        # a distinct label and no ``nbytes`` key keep the
+                        # byte-conservation checkers honest: failed attempts
+                        # deliver nothing
+                        self.trace.record(
+                            f"pcie-{req.direction}",
+                            f"{req.label}-retry",
+                            start,
+                            self.env.now,
+                            retry=True,
+                            attempt=attempt,
+                            discarded=req.nbytes,
+                            **req.meta,
+                        )
+                    if backoff > 0:
+                        yield self.env.timeout(backoff)
+                if outcome.fatal:
+                    inj.note_fatal()
+                    raise DmaFaultError(
+                        f"DMA {req.label!r} (chunk {req.meta.get('chunk')}, "
+                        f"{req.direction}) failed permanently after "
+                        f"{len(outcome.backoffs)} attempt(s)"
+                    )
             start = self.env.now
-            yield self.env.timeout(
-                self.transfer_time(req.nbytes, req.pinned, req.segments)
-            )
+            yield self.env.timeout(self._attempt_time(req))
             self.bytes_moved[req.direction] += req.nbytes
             self.transfer_count[req.direction] += 1
             if self.trace is not None:

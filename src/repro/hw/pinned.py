@@ -9,6 +9,7 @@ configurations that would not fit the testbed's 16 GB fail loudly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import AllocationError, PinnedMemoryExceeded
 
@@ -25,10 +26,16 @@ class PinnedBuffer:
 class PinnedAllocator:
     """Tracks pinned host allocations against a hard limit."""
 
-    def __init__(self, limit_bytes: int):
+    def __init__(self, limit_bytes: int, deny_after_bytes: Optional[int] = None):
         if limit_bytes <= 0:
             raise AllocationError(f"pinned limit must be positive, got {limit_bytes}")
         self.limit = int(limit_bytes)
+        #: fault-injection hook (``repro.faults``): allocations are denied
+        #: once usage would cross this threshold, modelling the OS
+        #: reclaiming page-lock budget from the process
+        self.deny_after_bytes = (
+            int(deny_after_bytes) if deny_after_bytes is not None else None
+        )
         self._next = 1
         self._live: dict[int, PinnedBuffer] = {}
         self.peak_usage = 0
@@ -49,6 +56,15 @@ class PinnedAllocator:
             raise PinnedMemoryExceeded(
                 f"pinning {nbytes} bytes ({label!r}) would exceed the "
                 f"{self.limit}-byte limit ({self.available} available)"
+            )
+        if (
+            self.deny_after_bytes is not None
+            and self.used + nbytes > self.deny_after_bytes
+        ):
+            raise PinnedMemoryExceeded(
+                f"pinning {nbytes} bytes ({label!r}) denied: injected fault "
+                f"caps pinned usage at {self.deny_after_bytes} bytes "
+                f"({self.used} already pinned)"
             )
         buf = PinnedBuffer(self._next, int(nbytes), label)
         self._next += 1

@@ -12,7 +12,7 @@ each chunk iteration against iteration ``n - 3``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
 from repro.errors import RuntimeConfigError, SynchronizationError
@@ -49,6 +49,11 @@ class BufferConfig:
     @property
     def addr_buf_bytes(self) -> int:
         return self.addr_buf_entries * self.address_bytes
+
+    def with_instances(self, instances: int) -> "BufferConfig":
+        """Same sizing at a different ring depth (degradation policies
+        shrink toward the paper's minimum of two)."""
+        return replace(self, instances=instances)
 
     def pinned_bytes_per_block(self) -> int:
         """CPU-side pinned footprint of one block's buffer set."""

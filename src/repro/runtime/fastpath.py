@@ -162,13 +162,18 @@ def template_of(
 
 
 def fastpath_supported(
-    chunks: Sequence[ChunkWork], config: PipelineConfig
+    chunks: Sequence[ChunkWork], config: PipelineConfig, faults=None
 ) -> tuple[bool, str]:
     """Can the analytic engine reproduce the DES exactly for this run?
 
     Returns ``(supported, reason)``; the reason names the first failed
     gate (``"ok"`` when supported). Gates, in order:
 
+    * ``empty`` — no chunks at all;
+    * ``active-fault-plan`` — a fault plan is injecting something:
+      degraded bandwidth, retried DMAs and stalls make the timeline
+      heterogeneous in ways the closed form does not model, so the DES is
+      authoritative under injection;
     * ``heterogeneous-chunks`` — the schedule is not template(+tail);
     * ``mapped-writes`` — any chunk carries write-back work (stages 5–6
       add CPU and d2h contention the closed form does not cover);
@@ -179,6 +184,12 @@ def fastpath_supported(
     n = len(chunks)
     if n == 0:
         return False, "empty"
+    if faults is not None:
+        from repro.faults.inject import as_injector
+
+        injector = as_injector(faults)
+        if injector is not None and injector.active:
+            return False, "active-fault-plan"
     tpl = template_of(chunks)
     if tpl is None:
         return False, "heterogeneous-chunks"

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Generator, Optional
 
 from repro.errors import RuntimeConfigError
+from repro.faults.inject import FaultInjector, as_injector
 from repro.hw.pcie import D2H, H2D, DmaEngine, PcieLink
 from repro.hw.spec import HardwareSpec
 from repro.sim.core import Environment
@@ -137,11 +138,14 @@ def _spawn_block_processes(
     config: PipelineConfig,
     trace: TraceRecorder,
     block: Optional[int] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> None:
     """Wire up one pipeline's stage processes over shared resources.
 
     ``block`` tags trace records for per-block runs; the aggregate mode
-    passes None.
+    passes None. ``faults`` is the active fault injector, if any — the
+    assembly stage consults it for injected stalls (DMA-level faults are
+    handled inside the link itself).
     """
     depth = config.ring_depth
     tag = "" if block is None else f"[{block}]"
@@ -187,9 +191,27 @@ def _spawn_block_processes(
                 yield grant
                 start = env.now
                 yield env.timeout(chunk.t_assembly)
-                trace.record(
-                    "cpu", STAGE_ASSEMBLY, start, env.now, chunk=chunk.index, **meta
+                stall = (
+                    faults.assembly_stall(chunk.index) if faults is not None else 0.0
                 )
+                if stall > 0:
+                    # a stalled worker keeps its CPU slot, so the stall
+                    # lengthens the recorded assembly interval
+                    faults.note_stall(stall)
+                    yield env.timeout(stall)
+                    trace.record(
+                        "cpu",
+                        STAGE_ASSEMBLY,
+                        start,
+                        env.now,
+                        chunk=chunk.index,
+                        stall=stall,
+                        **meta,
+                    )
+                else:
+                    trace.record(
+                        "cpu", STAGE_ASSEMBLY, start, env.now, chunk=chunk.index, **meta
+                    )
             yield asm_store.put(chunk)
 
     def transfer_proc() -> Generator:
@@ -286,6 +308,7 @@ def run_pipeline(
     trace: Optional[TraceRecorder] = None,
     verify: bool = False,
     fastpath: Optional[bool] = None,
+    faults=None,
 ) -> PipelineResult:
     """Simulate the full pipeline over ``chunks``; returns the timeline.
 
@@ -305,6 +328,11 @@ def run_pipeline(
     only when no trace is requested, ``verify`` is off, and
     :func:`~repro.runtime.fastpath.fastpath_supported` confirms the run is
     in its exact-coverage envelope; otherwise the DES runs as before.
+
+    ``faults`` accepts a :class:`~repro.faults.plan.FaultPlan` or a
+    :class:`~repro.faults.inject.FaultInjector`; an *active* plan always
+    forces the DES (injected faults make the timeline heterogeneous in
+    ways the closed form does not cover).
     """
     if not len(chunks):
         raise RuntimeConfigError("pipeline needs at least one chunk")
@@ -314,22 +342,25 @@ def run_pipeline(
         run_fastpath,
     )
 
+    injector = as_injector(faults)
     want_fast = (
         fastpath if fastpath is not None else isinstance(chunks, TemplatedChunks)
     )
     if want_fast and trace is None and not verify:
-        ok, _reason = fastpath_supported(chunks, config)
+        ok, _reason = fastpath_supported(chunks, config, faults=injector)
         if ok:
             return run_fastpath(hardware, chunks, config)
     if isinstance(chunks, TemplatedChunks):
         chunks = chunks.materialize()
     env = Environment()
     trace = trace if trace is not None else TraceRecorder()
-    link = PcieLink(env, hardware.pcie, trace=trace)
+    link = PcieLink(env, hardware.pcie, trace=trace, faults=injector)
     dma = DmaEngine(link)
     gpu = Resource(env, capacity=2, name="gpu")
     cpu = Resource(env, capacity=config.cpu_workers, name="cpu")
-    _spawn_block_processes(env, link, dma, gpu, cpu, chunks, config, trace)
+    _spawn_block_processes(
+        env, link, dma, gpu, cpu, chunks, config, trace, faults=injector
+    )
     env.run()
     result = _collect_result(env, link, trace, len(chunks))
     if verify:
@@ -354,6 +385,7 @@ def run_pipeline_per_block(
     cpu_threads: int = 8,
     trace: Optional[TraceRecorder] = None,
     verify: bool = False,
+    faults=None,
 ) -> PipelineResult:
     """High-fidelity mode: one full pipeline per thread block.
 
@@ -372,9 +404,10 @@ def run_pipeline_per_block(
     """
     if not block_chunks or not any(block_chunks):
         raise RuntimeConfigError("per-block pipeline needs at least one chunk")
+    injector = as_injector(faults)
     env = Environment()
     trace = trace if trace is not None else TraceRecorder()
-    link = PcieLink(env, hardware.pcie, trace=trace)
+    link = PcieLink(env, hardware.pcie, trace=trace, faults=injector)
     dma = DmaEngine(link)
     # each block's addr-gen and compute halves occupy their own warp slots
     gpu = Resource(env, capacity=2 * len(block_chunks), name="gpu")
@@ -382,7 +415,8 @@ def run_pipeline_per_block(
     for b, chunks in enumerate(block_chunks):
         if chunks:
             _spawn_block_processes(
-                env, link, dma, gpu, cpu, chunks, config, trace, block=b
+                env, link, dma, gpu, cpu, chunks, config, trace, block=b,
+                faults=injector,
             )
     env.run()
     result = _collect_result(

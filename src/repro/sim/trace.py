@@ -124,37 +124,53 @@ class TraceRecorder:
             iv.start for iv in self._intervals
         )
 
+    @staticmethod
+    def _chrome_row(iv: "Interval") -> str:
+        """Visual row (thread) of an interval: retried DMA attempts get a
+        dedicated ``<track>:retry`` row so failed attempts are visually
+        distinguishable from the successful transfer on the main track."""
+        if iv.meta.get("retry") or iv.label.endswith("-retry"):
+            return f"{iv.track}:retry"
+        return iv.track
+
     def to_chrome_trace(self) -> list[dict]:
         """Render the timeline as Chrome ``chrome://tracing`` events.
 
         Each track becomes a thread; each interval a complete ("X") event
-        with microsecond timestamps. Load the JSON dump in a trace viewer
-        (Perfetto, chrome://tracing) to inspect the pipeline visually.
+        with microsecond timestamps. Retried DMA attempts are placed on a
+        dedicated ``<track>:retry`` thread and tagged ``cat: "retry"``.
+        Load the JSON dump in a trace viewer (Perfetto, chrome://tracing)
+        to inspect the pipeline visually.
         """
-        tracks = {t: i for i, t in enumerate(dict.fromkeys(iv.track for iv in self))}
+        rows = {
+            r: i
+            for i, r in enumerate(dict.fromkeys(self._chrome_row(iv) for iv in self))
+        }
         events: list[dict] = [
             {
-                "name": track,
+                "name": row,
                 "ph": "M",
                 "pid": 0,
                 "tid": tid,
                 "cat": "meta",
-                "args": {"name": track},
+                "args": {"name": row},
             }
-            for track, tid in tracks.items()
+            for row, tid in rows.items()
         ]
         for iv in self._intervals:
-            events.append(
-                {
-                    "name": iv.label,
-                    "ph": "X",
-                    "pid": 0,
-                    "tid": tracks[iv.track],
-                    "ts": iv.start * 1e6,
-                    "dur": iv.duration * 1e6,
-                    "args": dict(iv.meta),
-                }
-            )
+            row = self._chrome_row(iv)
+            event = {
+                "name": iv.label,
+                "ph": "X",
+                "pid": 0,
+                "tid": rows[row],
+                "ts": iv.start * 1e6,
+                "dur": iv.duration * 1e6,
+                "args": dict(iv.meta),
+            }
+            if row.endswith(":retry"):
+                event["cat"] = "retry"
+            events.append(event)
         return events
 
     def dump_chrome_trace(self, path: str) -> None:

@@ -92,3 +92,66 @@ class TestPerAppShape:
             "mastercard", "bigkernel"
         ).sim_time
         assert rel_idx > 1.5 * rel_plain
+
+SPEEDUP_SNAPSHOT = {
+    # app: (cpu_mt, gpu_single, gpu_double, bigkernel) speedup vs cpu_serial,
+    # captured at SETTINGS before the fault-injection hooks landed
+    "kmeans": (3.400, 7.486, 14.175, 20.693),
+    "wordcount": (3.400, 6.660, 8.193, 11.229),
+    "netflix": (3.400, 3.196, 5.518, 11.666),
+    "opinion": (3.400, 5.785, 7.215, 7.675),
+    "dna": (3.400, 2.280, 4.077, 10.709),
+    "mastercard": (3.400, 3.355, 4.106, 5.605),
+    "mastercard_indexed": (3.400, 1.617, 2.830, 5.937),
+}
+
+SIM_TIME_SNAPSHOT = {
+    # app: (cpu_serial, cpu_mt, gpu_single, gpu_double, bigkernel) sim_time,
+    # exact to the double — the fastpath totals must not move at all
+    "kmeans": (0.02158464, 0.006348423529411765, 0.0028832289248366012,
+               0.0015227103121693121, 0.0010431073920354995),
+    "wordcount": (0.05740371087719298, 0.016883444375644995,
+                  0.008619399884064738, 0.0070066275273627954,
+                  0.005112151320412069),
+    "netflix": (0.006622547368421053, 0.0019478080495356038,
+                0.00207201399980872, 0.0012000704638739758,
+                0.0005676632056800242),
+    "opinion": (0.047304, 0.013912941176470588, 0.008176997068627451,
+                0.00655622428555867, 0.006162999723288916),
+    "dna": (0.006277658947368421, 0.0018463702786377708,
+            0.002753118429712626, 0.0015396326257910574,
+            0.0005861828173927334),
+    "mastercard": (0.061209887719298244, 0.018002908152734778,
+                   0.018243311260530137, 0.014905860089833191,
+                   0.010920029104725794),
+    "mastercard_indexed": (0.00686784, 0.0020199529411764707,
+                           0.004246536263798111, 0.002427006999052581,
+                           0.0011567295279183796),
+}
+
+ENGINE_ORDER = ("cpu_mt", "gpu_single", "gpu_double", "bigkernel")
+
+
+class TestFig4aSnapshot:
+    """Exact regression pin of the Fig. 4(a) matrix.
+
+    The aggregate bands above tolerate drift; this class does not. The
+    speedup table is pinned to 3 significant digits and the raw simulated
+    times to 1e-9 relative — in particular this proves the fault-injection
+    hooks cost *nothing* on the clean path (no plan active => identical
+    timelines to the pre-fault-subsystem build)."""
+
+    @pytest.mark.parametrize("app", sorted(SPEEDUP_SNAPSHOT))
+    def test_speedup_table(self, matrix, app):
+        expected = SPEEDUP_SNAPSHOT[app]
+        for engine, want in zip(ENGINE_ORDER, expected):
+            got = matrix.speedup(app, engine)
+            assert got == pytest.approx(want, rel=5e-3), (app, engine)
+
+    @pytest.mark.parametrize("app", sorted(SIM_TIME_SNAPSHOT))
+    def test_sim_times_exact(self, matrix, app):
+        expected = SIM_TIME_SNAPSHOT[app]
+        engines = ("cpu_serial",) + ENGINE_ORDER
+        for engine, want in zip(engines, expected):
+            got = matrix.get(app, engine).sim_time
+            assert got == pytest.approx(want, rel=1e-9), (app, engine)

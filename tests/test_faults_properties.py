@@ -1,0 +1,148 @@
+"""Seeded property tests for fault injection.
+
+Two laws, both over ``FaultPlan.random`` plans (same string-seed convention
+as ``repro.verify.fuzz``):
+
+* **determinism** — the same (data seed, fault seed) pair yields a
+  bit-identical timeline and FaultReport fingerprint;
+* **monotonicity** — adding faults never makes a *write-free* schedule
+  finish earlier. (Schedules with mapped writes share the d2h channel
+  between address and write-back traffic, where queueing anomalies can in
+  principle reorder completions, so the law is asserted on the write-free
+  subspace only.)
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.apps import WordCountApp
+from repro.engines import BigKernelEngine, EngineConfig
+from repro.faults import FaultPlan
+from repro.hw.spec import DEFAULT_HARDWARE
+from repro.runtime.pipeline import PipelineConfig, run_pipeline
+from repro.units import MiB
+from repro.verify.fuzz import random_chunk_schedule, random_pipeline_config
+
+SEEDS = range(5)
+
+
+def writefree_schedule(rng):
+    """A random schedule with mapped writes stripped (see module docstring)."""
+    return [
+        replace(c, write_bytes=0, t_scatter=0.0)
+        for c in random_chunk_schedule(rng)
+    ]
+
+
+def intervals_of(result):
+    return [
+        (iv.track, iv.label, iv.start, iv.end)
+        for iv in result.trace
+    ]
+
+
+class TestPlanGeneration:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_plan_deterministic(self, seed):
+        assert FaultPlan.random(seed) == FaultPlan.random(seed)
+
+    def test_random_plans_differ_across_seeds(self):
+        plans = {FaultPlan.random(s) for s in range(20)}
+        assert len(plans) > 1
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_random_plan_is_recoverable(self, seed):
+        # random plans must stay in the recoverable regime: no fatal DMA
+        # (retries < MAX_DMA_ATTEMPTS), no pinned denial unless asked
+        from repro.faults import MAX_DMA_ATTEMPTS
+
+        plan = FaultPlan.random(seed)
+        assert plan.active()
+        for d in plan.of_type("dma"):
+            assert d.retries < MAX_DMA_ATTEMPTS
+        assert plan.pinned_deny_after() is None
+
+
+class TestPipelineDeterminism:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_trace(self, seed):
+        plan = FaultPlan.random(seed, max_chunk=3)
+
+        def one_run():
+            rng = random.Random(f"pipeline-{seed}-faultprop")
+            chunks = random_chunk_schedule(rng)
+            config = random_pipeline_config(rng)
+            return run_pipeline(
+                DEFAULT_HARDWARE, chunks, config, fastpath=False, faults=plan
+            )
+
+        a, b = one_run(), one_run()
+        assert a.total_time == b.total_time
+        assert intervals_of(a) == intervals_of(b)
+
+
+class TestPipelineMonotonicity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_fault_never_speeds_up_writefree_schedule(self, seed):
+        rng = random.Random(f"pipeline-{seed}-mono")
+        chunks = writefree_schedule(rng)
+        config = random_pipeline_config(rng)
+        clean = run_pipeline(DEFAULT_HARDWARE, chunks, config, fastpath=False)
+        plan = FaultPlan.random(seed, max_chunk=len(chunks) - 1)
+        faulted = run_pipeline(
+            DEFAULT_HARDWARE, chunks, config, fastpath=False, faults=plan
+        )
+        assert faulted.total_time >= clean.total_time - 1e-12
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_adding_a_fault_is_monotone(self, seed):
+        # growing the plan one event at a time never reduces the makespan
+        rng = random.Random(f"pipeline-{seed}-mono-grow")
+        chunks = writefree_schedule(rng)
+        config = random_pipeline_config(rng)
+        full = FaultPlan.random(seed, max_chunk=len(chunks) - 1)
+        prev = run_pipeline(
+            DEFAULT_HARDWARE, chunks, config, fastpath=False
+        ).total_time
+        for k in range(1, len(full.events) + 1):
+            partial = FaultPlan(seed=full.seed, name=full.name,
+                                events=full.events[:k])
+            t = run_pipeline(
+                DEFAULT_HARDWARE, chunks, config, fastpath=False, faults=partial
+            ).total_time
+            assert t >= prev - 1e-12
+            prev = t
+
+
+class TestEngineLevelProperties:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        app = WordCountApp()
+        data = app.generate(n_bytes=1 * MiB, seed=7)
+        return app, data
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_determinism(self, workload, seed):
+        app, data = workload
+        plan = FaultPlan.random(seed, max_chunk=3)
+        cfg = EngineConfig(chunk_bytes=256 * 1024, faults=plan)
+        a = BigKernelEngine().run(app, data, cfg)
+        b = BigKernelEngine().run(app, data, cfg)
+        assert a.sim_time == b.sim_time
+        assert intervals_of(a) == intervals_of(b)
+        assert a.metrics.notes.get("fault_stats") == b.metrics.notes.get(
+            "fault_stats"
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_engine_monotonicity(self, workload, seed):
+        # wordcount is read-only (no mapped writes), so the write-free
+        # monotonicity law applies at the engine level too
+        app, data = workload
+        cfg = EngineConfig(chunk_bytes=256 * 1024, fastpath=False)
+        clean = BigKernelEngine().run(app, data, cfg)
+        plan = FaultPlan.random(seed, max_chunk=3)
+        faulted = BigKernelEngine().run(app, data, cfg.with_(faults=plan))
+        assert faulted.sim_time >= clean.sim_time - 1e-12

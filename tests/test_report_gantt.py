@@ -104,3 +104,63 @@ class TestFailurePropagation:
         proc = env.process(consumer(env))
         with pytest.raises(Deadlock):
             env.run(until=proc)
+
+
+class TestChromeTraceRetryTrack:
+    def make_trace(self):
+        tr = TraceRecorder()
+        tr.record("pcie-h2d", "data_transfer", 0.0, 1.0, chunk=0, nbytes=100)
+        tr.record("pcie-h2d", "data_transfer-retry", 1.0, 2.0,
+                  chunk=1, retry=True, attempt=1, discarded=100)
+        tr.record("pcie-h2d", "data_transfer", 2.0, 3.0, chunk=1, nbytes=100)
+        return tr
+
+    def test_retry_gets_dedicated_row(self):
+        events = self.make_trace().to_chrome_trace()
+        xs = [e for e in events if e["ph"] == "X"]
+        retry = next(e for e in xs if e["name"].endswith("-retry"))
+        normal = [e for e in xs if not e["name"].endswith("-retry")]
+        assert all(e["tid"] != retry["tid"] for e in normal)
+        # both successful transfers share the main track
+        assert len({e["tid"] for e in normal}) == 1
+
+    def test_retry_category_tag(self):
+        events = self.make_trace().to_chrome_trace()
+        xs = [e for e in events if e["ph"] == "X"]
+        retry = next(e for e in xs if e["name"].endswith("-retry"))
+        assert retry["cat"] == "retry"
+        assert all("cat" not in e for e in xs if not e["name"].endswith("-retry"))
+
+    def test_retry_row_named_in_metadata(self):
+        events = self.make_trace().to_chrome_trace()
+        metas = {e["name"]: e["tid"] for e in events if e["ph"] == "M"}
+        assert "pcie-h2d:retry" in metas
+        assert "pcie-h2d" in metas
+        assert metas["pcie-h2d:retry"] != metas["pcie-h2d"]
+
+    def test_retry_meta_flag_alone_is_enough(self):
+        # the row split keys on either the meta flag or the label suffix
+        tr = TraceRecorder()
+        tr.record("pcie-d2h", "writeback", 0.0, 1.0, retry=True)
+        events = tr.to_chrome_trace()
+        x = next(e for e in events if e["ph"] == "X")
+        assert x["cat"] == "retry"
+
+    def test_pipeline_retry_reaches_chrome_trace(self):
+        from repro.faults import FaultPlan
+        from repro.runtime.pipeline import PipelineConfig
+
+        chunks = [
+            ChunkWork(i, 1e-4, 0, 2e-4, 1 * MiB, 3e-4) for i in range(4)
+        ]
+        plan = FaultPlan(name="retry").dma.error(chunk=2, retries=2)
+        res = run_pipeline(
+            DEFAULT_HARDWARE, chunks, PipelineConfig(), fastpath=False,
+            faults=plan,
+        )
+        events = res.trace.to_chrome_trace()
+        retries = [e for e in events
+                   if e["ph"] == "X" and e.get("cat") == "retry"]
+        assert len(retries) == 2
+        assert all(e["args"]["chunk"] == 2 for e in retries)
+        assert all("nbytes" not in e["args"] for e in retries)
