@@ -1,18 +1,23 @@
 """Perf smoke: wall-clock of the analytic fast path vs the DES.
 
-Times (``time.perf_counter``) a ~500-chunk BigKernel run and a 16-point
-autotune sweep, fast path + caching against the DES / serial baselines,
-and records the measurements to ``BENCH_pipeline.json`` at the repo root.
+Times (``time.perf_counter``) a ~500-chunk BigKernel run, a 16-point
+autotune sweep, the raw DES event throughput, and a DES-bound
+thread-vs-process sweep, and records the measurements to
+``BENCH_pipeline.json`` at the repo root.
 
-The speedup threshold is *warn-only*: wall-clock on shared CI boxes is
+Every threshold is *warn-only*: wall-clock on shared CI boxes is
 too noisy for a hard assert, but the recorded JSON makes regressions
 visible across commits. Expected on any machine: the analytic pipeline
 beats the DES by well over 5x at 500 chunks (it is O(n) arithmetic vs
-an event queue), and the cached sweep beats the cold serial sweep by the
-cache hit rate.
+an event queue), the cached sweep beats the cold serial sweep by the
+cache hit rate, and the DES core clears 1.5x the pre-optimization event
+rate. The process-vs-thread expectation additionally needs real cores:
+on a single-CPU box a process pool cannot beat the GIL, so that check
+downgrades to recording only.
 """
 
 import json
+import os
 import time
 import warnings
 from pathlib import Path
@@ -24,6 +29,12 @@ from repro.units import MiB
 
 BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
 WARN_SPEEDUP = 5.0
+
+#: DES event throughput of the pre-optimization core (measured on the
+#: reference box: plain-method dispatch, no __slots__, un-inlined loop)
+DES_BASELINE_EVENTS_PER_SEC = 0.647e6
+DES_WARN_SPEEDUP = 1.5
+PROCESS_WARN_SPEEDUP = 2.0
 
 SWEEP_GRID = {
     "chunk_bytes": [256 * 1024, 512 * 1024, 1 * MiB, 2 * MiB],
@@ -114,3 +125,101 @@ def test_sweep_16_points_cached_parallel():
     )
     _warn_if_slow("sweep_16_point_cached", speedup)
     RUN_CACHE.clear()
+
+
+def test_des_event_throughput():
+    """Raw event rate of the DES core (the ping microbenchmark).
+
+    100 processes x 2000 timeout steps = 200200 events of pure dispatch:
+    no pipeline model, so this isolates exactly what the ``sim.core``
+    hot-loop optimizations (``__slots__``, inlined run loop, flattened
+    Timeout, cached resume callback) bought. Best-of-3 to shave scheduler
+    noise.
+    """
+    from repro.sim.core import Environment
+
+    n_procs, n_steps = 100, 2000
+
+    def ticker(env):
+        for _ in range(n_steps):
+            yield env.timeout(1)
+
+    best_rate = 0.0
+    events = 0
+    for _ in range(3):
+        env = Environment()
+        for _ in range(n_procs):
+            env.process(ticker(env))
+        t0 = time.perf_counter()
+        env.run()
+        elapsed = time.perf_counter() - t0
+        events = env._eid
+        best_rate = max(best_rate, events / elapsed)
+
+    speedup = best_rate / DES_BASELINE_EVENTS_PER_SEC
+    _record(
+        {
+            "name": "des_event_throughput",
+            "events": events,
+            "events_per_sec": best_rate,
+            "baseline_events_per_sec": DES_BASELINE_EVENTS_PER_SEC,
+            "speedup_vs_baseline": speedup,
+        }
+    )
+    if speedup < DES_WARN_SPEEDUP:
+        warnings.warn(
+            f"des_event_throughput: {best_rate / 1e6:.2f}M events/s is "
+            f"{speedup:.2f}x the pre-optimization baseline, below the "
+            f"{DES_WARN_SPEEDUP:.1f}x expectation (warn-only)",
+            stacklevel=2,
+        )
+
+
+def test_des_bound_sweep_process_vs_thread():
+    """Thread vs process backend on a purely DES-bound grid.
+
+    Every point runs the pure-Python simulator (``fastpath=False``), so
+    the GIL serializes the thread backend while process workers run truly
+    concurrently — the process pool should win by ~min(jobs, cores) once
+    points dwarf the fork + regeneration overhead. On a single-CPU box
+    there is no concurrency to buy and the fork tax makes processes
+    *slower*; the expectation is skipped there (recorded either way).
+    """
+    app = get_app("kmeans")
+    data = app.generate(n_bytes=32 * MiB, seed=7)
+    engine = BigKernelEngine()
+    base = EngineConfig(fastpath=False, functional=False)
+    grid = {"chunk_bytes": [8 * 1024, 16 * 1024], "num_blocks": [8, 16, 32, 64]}
+
+    t0 = time.perf_counter()
+    threaded = sweep(engine, app, data, base, grid, jobs=4, backend="thread")
+    t_thread = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    proc = sweep(engine, app, data, base, grid, jobs=4, backend="process")
+    t_proc = time.perf_counter() - t0
+
+    # equivalence is a hard assert even though the timing is not
+    assert [(p.params, p.sim_time) for p in threaded.points] == [
+        (p.params, p.sim_time) for p in proc.points
+    ]
+    cores = os.cpu_count() or 1
+    speedup = t_thread / t_proc if t_proc > 0 else float("inf")
+    _record(
+        {
+            "name": "des_bound_sweep_process_vs_thread",
+            "points": len(proc.points),
+            "jobs": 4,
+            "cpu_count": cores,
+            "thread_seconds": t_thread,
+            "process_seconds": t_proc,
+            "process_speedup": speedup,
+        }
+    )
+    if cores >= 4 and speedup < PROCESS_WARN_SPEEDUP:
+        warnings.warn(
+            f"des_bound_sweep_process_vs_thread: process backend only "
+            f"{speedup:.2f}x over threads on {cores} cores, below the "
+            f"{PROCESS_WARN_SPEEDUP:.0f}x expectation (warn-only)",
+            stacklevel=2,
+        )

@@ -18,12 +18,15 @@ Every app provides three synchronized views of the same computation:
 from __future__ import annotations
 
 import abc
+import functools
+import hashlib
 import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 import numpy as np
 
+from repro.apps.datagen import DATAGEN_VERSION
 from repro.errors import ApplicationError
 from repro.kernelc.codegen import ExecutionContext
 from repro.kernelc.ir import Kernel, RecordSchema
@@ -77,21 +80,71 @@ _FINGERPRINT_COUNTER = itertools.count(1)
 
 
 def data_fingerprint(data: AppData) -> tuple:
-    """Hashable identity token of one dataset instance.
+    """Hashable *identity* token of one dataset instance.
 
     :class:`AppData` itself is unhashable (mutable dataclass), so caches
     (engine schedule memoization, ``bench.sweep``'s run cache) key on this
     instead. The token is minted once per instance and stashed in
     ``data.meta`` — two datasets get equal fingerprints only if they are
-    the *same object*, which is exactly the safe notion of identity for a
-    cache: regenerating data (even with the same seed) gets a fresh token
-    and therefore fresh cache entries.
+    the *same object*, which is exactly the safe notion of identity for an
+    in-process cache: regenerating data (even with the same seed) gets a
+    fresh token and therefore fresh cache entries.
+
+    Use this key for caches scoped to one process whose entries may depend
+    on anything the caller did to the instance (in-place edits included).
+    For caches that must survive the process — the on-disk tier of
+    :class:`repro.bench.sweep.RunCache` — or be shared between processes
+    (the ``backend="process"`` sweep workers), use :func:`dataset_key`,
+    which names the dataset by *content* instead.
     """
     token = data.meta.get("_fingerprint")
     if token is None:
         token = next(_FINGERPRINT_COUNTER)
         data.meta["_fingerprint"] = token
     return (data.app, data.n_records, token)
+
+
+def dataset_key(data: AppData) -> tuple:
+    """Hashable *content* token of a dataset: stable across processes.
+
+    Unlike :func:`data_fingerprint` (identity: same object ⇒ same key),
+    this names the dataset by what it contains, so two independently
+    regenerated datasets — in this process, another process, or another CI
+    run — get equal keys exactly when their bytes are equal. That is the
+    right key for the persistent run cache and for ``backend="process"``
+    sweep workers, which regenerate data locally instead of shipping
+    arrays; it is the *wrong* key for anything keyed on an instance that
+    may have been mutated in place after generation.
+
+    Datasets produced by a registered app's ``generate`` carry their
+    generation recipe in ``data.meta["datagen"]`` (stamped automatically by
+    :class:`Application`), so the key is the cheap tuple ``("datagen", app,
+    seed, n_bytes, DATAGEN_VERSION)`` — the datagen version ties it to the
+    generator implementation. Hand-built :class:`AppData` instances fall
+    back to a SHA-256 over the mapped/resident arrays and params, which is
+    equally stable, just paid per instance.
+    """
+    token = data.meta.get("_dataset_key")
+    if token is None:
+        recipe = data.meta.get("datagen")
+        if recipe is not None:
+            token = (
+                "datagen",
+                data.app,
+                recipe["seed"],
+                recipe["n_bytes"],
+                recipe["version"],
+            )
+        else:
+            digest = hashlib.sha256()
+            for group in (data.mapped, data.resident):
+                for name in sorted(group):
+                    digest.update(name.encode())
+                    digest.update(np.ascontiguousarray(group[name]).tobytes())
+            digest.update(repr(sorted(data.params.items())).encode())
+            token = ("sha256", data.app, digest.hexdigest())
+        data.meta["_dataset_key"] = token
+    return token
 
 
 @dataclass(frozen=True)
@@ -168,6 +221,31 @@ class AccessProfile:
         return self.write_bytes_per_record / self.record_bytes
 
 
+def _stamping_generate(generate):
+    """Wrap an app's ``generate`` so every dataset records its recipe.
+
+    ``data.meta["datagen"]`` carries everything needed to regenerate the
+    dataset deterministically elsewhere — the content identity behind
+    :func:`dataset_key` and the ``backend="process"`` sweep workers. The
+    requested (pre-default-resolution) ``n_bytes`` is recorded: two calls
+    with the same arguments produce the same bytes, which is all the key
+    needs.
+    """
+
+    @functools.wraps(generate)
+    def wrapper(self, n_bytes: Optional[int] = None, seed: int = 0) -> "AppData":
+        data = generate(self, n_bytes=n_bytes, seed=seed)
+        if isinstance(data, AppData):
+            data.meta.setdefault(
+                "datagen",
+                {"seed": seed, "n_bytes": n_bytes, "version": DATAGEN_VERSION},
+            )
+        return data
+
+    wrapper._datagen_stamped = True
+    return wrapper
+
+
 class Application(abc.ABC):
     """Base class for the benchmark applications."""
 
@@ -182,10 +260,23 @@ class Application(abc.ABC):
     #: how many passes over the mapped data the computation makes
     n_passes: int = 1
 
+    def __init_subclass__(cls, **kwargs):
+        super().__init_subclass__(**kwargs)
+        generate = cls.__dict__.get("generate")
+        if generate is not None and not getattr(generate, "_datagen_stamped", False):
+            cls.generate = _stamping_generate(generate)
+
     # ------------------------------------------------------------- data
     @abc.abstractmethod
     def generate(self, n_bytes: Optional[int] = None, seed: int = 0) -> AppData:
-        """Create a synthetic dataset of ~``n_bytes`` mapped data."""
+        """Create a synthetic dataset of ~``n_bytes`` mapped data.
+
+        Concrete implementations are wrapped by :func:`_stamping_generate`
+        (via ``__init_subclass__``): the returned dataset's
+        ``meta["datagen"]`` records ``{seed, n_bytes, version}`` so
+        :func:`dataset_key` and the process-pool sweep workers can
+        reproduce it by recipe.
+        """
 
     def default_bytes(self) -> int:
         return max(1, int(self.paper_data_bytes * DEFAULT_SCALE))

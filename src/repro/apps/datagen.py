@@ -6,6 +6,14 @@ import numpy as np
 
 from repro.errors import ApplicationError
 
+#: Version of the deterministic data-generation scheme. Part of every
+#: content-based :func:`repro.apps.base.dataset_key`, so bump it whenever a
+#: change to this module (or to any app's ``generate``) alters the bytes
+#: produced for a given ``(app, seed, n_bytes)`` — stale persistent-cache
+#: entries (``repro.bench.sweep.DiskCache``) are then keyed away instead of
+#: silently reused.
+DATAGEN_VERSION = 1
+
 _WORD_CHARS = np.frombuffer(b"abcdefghijklmnopqrstuvwxyz", dtype=np.uint8)
 
 

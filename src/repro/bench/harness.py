@@ -32,6 +32,12 @@ class BenchSettings:
     validate: bool = True
     #: run the trace invariant checkers (repro.verify) on every traced run
     check_invariants: bool = False
+    #: route engine runs through the process-wide two-tier RunCache
+    #: (:data:`repro.bench.sweep.RUN_CACHE`) — repeated harness invocations
+    #: (every figure re-running the same matrix) and even separate
+    #: processes then evaluate each (engine, app, dataset, config) cell
+    #: once, via the persistent content-keyed disk tier
+    cache: bool = False
 
 
 @dataclass
@@ -59,6 +65,21 @@ def default_engines():
     )
 
 
+def _run_cell(engine, app, data, config, cache: bool) -> RunResult:
+    """One matrix cell, optionally through the two-tier run cache."""
+    if not cache:
+        return engine.run(app, data, config)
+    from repro.bench.sweep import RUN_CACHE, RunCache, _disk_key
+
+    key = RunCache.key(engine, app, data, config)
+    disk_key = _disk_key(engine, app, data, config, cache)
+    result = RUN_CACHE.get(key, disk_key)
+    if result is None:
+        result = engine.run(app, data, config)
+        RUN_CACHE.put(key, result, disk_key)
+    return result
+
+
 def run_matrix(
     settings: Optional[BenchSettings] = None,
     apps: Optional[Iterable[Application]] = None,
@@ -80,7 +101,7 @@ def run_matrix(
         data = app.generate(n_bytes=settings.data_bytes, seed=settings.seed)
         reference = None
         for engine in engines:
-            res = engine.run(app, data, config)
+            res = _run_cell(engine, app, data, config, settings.cache)
             results[(app.name, engine.name)] = res
             if reference is None:
                 reference = res

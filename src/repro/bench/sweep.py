@@ -6,31 +6,53 @@ result in the best execution time, as determined through
 experimentation*. :func:`autotune` reproduces that methodology: it sweeps
 a small grid per engine/app pair and returns the fastest configuration.
 
-Two levers keep big grids fast (``docs/performance.md``):
+Three levers keep big grids fast (``docs/performance.md``):
 
-* ``jobs=N`` fans the grid points across a thread pool. Points are
+* ``jobs=N`` fans the grid points across an executor. Points are
   independent engine runs; results are merged back in grid order, so the
   outcome — including every tie-break — is identical to the serial sweep.
-* ``cache=True`` consults the in-process :class:`RunCache`, an LRU of
-  ``(engine identity, app, dataset fingerprint, config) -> RunResult``
-  shared by all sweeps in the process, so repeated autotunes (e.g. every
-  figure harness tuning the same engines) evaluate each point once.
+* ``backend=`` picks the executor: ``"thread"`` (cheap, right when points
+  resolve on the analytic fast path or mostly hit the cache),
+  ``"process"`` (a :class:`~concurrent.futures.ProcessPoolExecutor` over
+  picklable :class:`~repro.bench.jobs.JobSpec`\\ s — the GIL serializes
+  DES-bound points on threads, so pure-Python simulation work needs real
+  processes), or ``"auto"`` (process exactly when the run is DES-bound).
+  Workers regenerate the dataset locally from its recipe instead of being
+  shipped arrays.
+* ``cache=True`` consults the two-tier :class:`RunCache`: an in-process
+  LRU keyed on dataset *identity* in front of a persistent on-disk store
+  (:class:`DiskCache`, SHA-256 content key under ``.repro-cache/``) keyed
+  on dataset *content* — so repeated autotunes in one process, across
+  processes, and across CI runs all evaluate each point once.
 """
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 import os
+import pickle
 import threading
 from collections import OrderedDict
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional
 
-from repro.apps.base import AppData, Application, data_fingerprint
+from repro.apps.base import AppData, Application, data_fingerprint, dataset_key
 from repro.engines.base import Engine, EngineConfig, RunResult
 from repro.errors import ReproError
 from repro.units import MiB
+
+#: Schema version of the persistent cache. Part of every disk key: bump it
+#: whenever RunResult's shape or the simulation's timing semantics change,
+#: so stale entries from older builds are keyed away rather than reused.
+CACHE_SCHEMA_VERSION = 1
+
+#: environment switch that disables the persistent tier entirely
+_DISK_CACHE_OFF_ENV = "REPRO_NO_DISK_CACHE"
+#: environment override for the persistent tier's location
+_DISK_CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 
 @dataclass(frozen=True)
@@ -75,62 +97,283 @@ class SweepResult:
         return {p.params[key]: p.sim_time for p in self.points}
 
 
-class RunCache:
-    """Thread-safe LRU of engine runs, keyed on everything a run reads.
+class DiskCache:
+    """Persistent run-result store: one pickle per SHA-256 content key.
 
-    The key is ``(engine.cache_key, app name, dataset fingerprint,
-    config)``: engine identity includes ablation features, the dataset
-    fingerprint (:func:`repro.apps.base.data_fingerprint`) is minted per
-    dataset *instance*, and :class:`EngineConfig` is frozen/hashable. A
-    regenerated dataset — even same app and seed — gets a fresh
-    fingerprint, so stale hits are impossible.
+    Layout is ``<root>/<digest[:2]>/<digest[2:]>.pkl`` (git-object style
+    fan-out). The root is resolved *per operation* — ``REPRO_CACHE_DIR``
+    when set, else ``.repro-cache`` under the current directory — so tests
+    and CI can redirect it without rebuilding caches. Writes go through a
+    temp file + ``os.replace`` (atomic on POSIX), so concurrent writers
+    (parallel sweeps, figure harnesses racing in CI) can only ever produce
+    a complete entry; unreadable entries are treated as misses and
+    deleted. Eviction is approximate LRU: reads bump mtime, and every
+    :data:`_EVICT_EVERY` puts the oldest entries beyond ``max_entries``
+    are removed. Setting ``REPRO_NO_DISK_CACHE`` makes every operation a
+    no-op.
     """
 
-    def __init__(self, maxsize: int = 512):
+    _EVICT_EVERY = 50
+
+    def __init__(self, root: Optional[os.PathLike] = None, max_entries: int = 4096):
+        self._root = root
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._puts = 0
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return not os.environ.get(_DISK_CACHE_OFF_ENV)
+
+    @property
+    def root(self) -> Path:
+        return Path(
+            self._root
+            or os.environ.get(_DISK_CACHE_DIR_ENV)
+            or ".repro-cache"
+        )
+
+    def _path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest[2:]}.pkl"
+
+    def get(self, digest: str) -> Optional[RunResult]:
+        if not self.enabled:
+            return None
+        path = self._path(digest)
+        try:
+            with open(path, "rb") as fh:
+                result = pickle.load(fh)
+        except FileNotFoundError:
+            with self._lock:
+                self.misses += 1
+            return None
+        except Exception:
+            # truncated/stale/unreadable entry: a miss, and not worth keeping
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            os.utime(path)  # approximate-LRU recency bump
+        except OSError:
+            pass
+        with self._lock:
+            self.hits += 1
+        return result
+
+    def put(self, digest: str, result: RunResult) -> None:
+        if not self.enabled:
+            return
+        path = self._path(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+            with open(tmp, "wb") as fh:
+                pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            return  # cache writes are best-effort, never fatal
+        with self._lock:
+            self._puts += 1
+            evict = self._puts % self._EVICT_EVERY == 0
+        if evict:
+            self._evict()
+
+    def _evict(self) -> None:
+        entries = sorted(
+            self.root.glob("??/*.pkl"), key=lambda p: p.stat().st_mtime
+        )
+        for path in entries[: max(0, len(entries) - self.max_entries)]:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        if not self.enabled or not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.pkl"))
+
+    def clear(self) -> None:
+        if not self.root.is_dir():
+            return
+        for path in self.root.glob("??/*.pkl"):
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.hits = self.misses = self._puts = 0
+
+
+def content_run_key(
+    engine: Engine, app: Application, data: AppData, config: EngineConfig
+) -> str:
+    """SHA-256 disk key of one run, built from content identities only.
+
+    Every component is stable across processes: the engine's
+    ``cache_key`` string, the app name, the dataset's *content* key
+    (:func:`repro.apps.base.dataset_key` — recipe or byte hash, never the
+    per-instance fingerprint), and the frozen config's repr (dataclass
+    reprs are deterministic, and include the hardware spec and any fault
+    plan). :data:`CACHE_SCHEMA_VERSION` folds the build generation in.
+    """
+    payload = repr(
+        (
+            CACHE_SCHEMA_VERSION,
+            engine.cache_key,
+            app.name,
+            dataset_key(data),
+            config,
+        )
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class RunCache:
+    """Two-tier cache of engine runs, keyed on everything a run reads.
+
+    The front tier is a thread-safe in-process LRU keyed on ``(engine
+    cache_key, app name, dataset *identity* fingerprint, config)``: the
+    fingerprint (:func:`repro.apps.base.data_fingerprint`) is minted per
+    dataset *instance*, so within one process a stale hit is impossible
+    even if data is regenerated or mutated.
+
+    Behind it sits an optional persistent :class:`DiskCache` keyed by
+    :func:`content_run_key` — dataset *content*, not identity — which is
+    what lets a fresh process (a figure harness, a CI job, a pool worker's
+    parent) reuse points evaluated by an earlier one. A disk hit is
+    promoted into the memory tier under the caller's identity key.
+    """
+
+    def __init__(self, maxsize: int = 512, disk: Optional[DiskCache] = None):
         self.maxsize = maxsize
+        self.disk = disk
         self._entries: OrderedDict = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
+        self.disk_hits = 0
 
     @staticmethod
     def key(engine: Engine, app: Application, data: AppData, config: EngineConfig):
         return (engine.cache_key, app.name, data_fingerprint(data), config)
 
-    def get(self, key) -> Optional[RunResult]:
+    def get(self, key, disk_key: Optional[str] = None) -> Optional[RunResult]:
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
                 self.hits += 1
                 return self._entries[key]
-            self.misses += 1
-            return None
-
-    def put(self, key, result: RunResult) -> None:
+        if self.disk is not None and disk_key is not None:
+            result = self.disk.get(disk_key)
+            if result is not None:
+                with self._lock:
+                    self._store(key, result)
+                    self.hits += 1
+                    self.disk_hits += 1
+                return result
         with self._lock:
-            self._entries[key] = result
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+            self.misses += 1
+        return None
 
-    def clear(self) -> None:
+    def put(self, key, result: RunResult, disk_key: Optional[str] = None) -> None:
+        with self._lock:
+            self._store(key, result)
+        if self.disk is not None and disk_key is not None:
+            self.disk.put(disk_key, result)
+
+    def _store(self, key, result: RunResult) -> None:
+        # caller holds self._lock
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self, disk: bool = False) -> None:
         with self._lock:
             self._entries.clear()
-            self.hits = self.misses = 0
+            self.hits = self.misses = self.disk_hits = 0
+        if disk and self.disk is not None:
+            self.disk.clear()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
 
-#: process-wide run cache used by ``sweep(..., cache=True)``
-RUN_CACHE = RunCache()
+#: process-wide two-tier run cache used by ``sweep(..., cache=True)``
+RUN_CACHE = RunCache(disk=DiskCache())
+
+#: recognized ``backend=`` values
+BACKENDS = ("thread", "process", "auto")
 
 
 def _resolve_jobs(jobs: Optional[int]) -> int:
     if jobs is None or jobs <= 0:
         return os.cpu_count() or 1
     return jobs
+
+
+def _des_bound(app: Application, config: EngineConfig) -> bool:
+    """Will grid points resolve on the pure-Python DES (GIL-bound)?
+
+    Mirrors the fast-path fallback matrix (``docs/performance.md``): an
+    active fault plan forces the DES, ``fastpath=False`` asks for it, and
+    mapped-writes apps fall back chunk by chunk.
+    """
+    if config.faults is not None and config.faults.active():
+        return True
+    return not config.fastpath or app.writes_mapped
+
+
+def _resolve_backend(
+    backend: str,
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    config: EngineConfig,
+    jobs: int,
+) -> str:
+    """Pick thread vs process; validate explicit process requests."""
+    if backend not in BACKENDS:
+        raise ReproError(f"unknown sweep backend {backend!r}; known: {BACKENDS}")
+    if backend == "thread" or jobs <= 1:
+        return "thread"
+    from repro.bench.jobs import dataset_spec, engine_to_spec
+
+    speccable = (
+        engine_to_spec(engine) is not None
+        and dataset_spec(app, data) is not None
+    )
+    if backend == "process":
+        if not speccable:
+            raise ReproError(
+                "backend='process' needs a registry app with a generation "
+                "recipe and a stock engine (workers regenerate data by "
+                "recipe); use backend='thread' for custom apps/engines"
+            )
+        return "process"
+    # auto: processes pay a fork + regeneration tax, so only buy real
+    # parallelism where threads cannot provide it (the GIL-bound DES)
+    return "process" if speccable and _des_bound(app, config) else "thread"
+
+
+def _disk_key(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    cfg: EngineConfig,
+    cache: bool,
+) -> Optional[str]:
+    if not cache or RUN_CACHE.disk is None or not RUN_CACHE.disk.enabled:
+        return None
+    return content_run_key(engine, app, data, cfg)
 
 
 def sweep(
@@ -141,16 +384,21 @@ def sweep(
     grid: dict,
     jobs: int = 1,
     cache: bool = False,
+    backend: str = "auto",
 ) -> SweepResult:
     """Run ``engine`` over the cartesian product of ``grid`` overrides.
 
     ``grid`` maps EngineConfig field names to candidate value lists; the
     product is enumerated in deterministic order (sorted keys, listed
-    values). ``jobs`` > 1 evaluates points on a thread pool (0/None means
-    one per CPU); the merge preserves grid order, so the result — points
-    list and tie-broken winner alike — is independent of ``jobs``.
-    ``cache=True`` reuses process-wide :data:`RUN_CACHE` entries for
-    previously-seen ``(engine, app, data, config)`` combinations.
+    values). ``jobs`` > 1 evaluates points on an executor (0/None means
+    one per CPU) selected by ``backend``: ``"thread"``, ``"process"``
+    (picklable job specs, workers regenerate data locally), or ``"auto"``
+    (process exactly when points are DES-bound — faulted, ``fastpath=
+    False``, or mapped-writes runs — else thread). Whatever the backend,
+    results merge in grid order, so the points list and the tie-broken
+    winner are identical to the serial sweep's. ``cache=True`` consults
+    the process-wide two-tier :data:`RUN_CACHE` (in-memory LRU + on-disk
+    content-keyed store) before evaluating any point.
     """
     keys = sorted(grid)
     combos = [
@@ -158,17 +406,27 @@ def sweep(
         for values in itertools.product(*(grid[k] for k in keys))
     ]
 
+    jobs = _resolve_jobs(jobs) if jobs != 1 else 1
+    chosen_backend = _resolve_backend(backend, engine, app, data, base_config, jobs)
+    if chosen_backend == "process" and len(combos) > 1:
+        return SweepResult(
+            _evaluate_process(engine, app, data, base_config, combos, jobs, cache)
+        )
+
     def evaluate(chosen: dict) -> SweepPoint:
         cfg = base_config.with_(**chosen)
-        cache_key = RunCache.key(engine, app, data, cfg) if cache else None
-        result = RUN_CACHE.get(cache_key) if cache else None
+        result = None
+        cache_key = disk_key = None
+        if cache:
+            cache_key = RunCache.key(engine, app, data, cfg)
+            disk_key = _disk_key(engine, app, data, cfg, cache)
+            result = RUN_CACHE.get(cache_key, disk_key)
         if result is None:
             result = engine.run(app, data, cfg)
             if cache:
-                RUN_CACHE.put(cache_key, result)
+                RUN_CACHE.put(cache_key, result, disk_key)
         return SweepPoint(dict(chosen), result.sim_time, result)
 
-    jobs = _resolve_jobs(jobs) if jobs != 1 else 1
     if jobs == 1 or len(combos) <= 1:
         points = [evaluate(c) for c in combos]
     else:
@@ -176,6 +434,51 @@ def sweep(
             # executor.map preserves input order: deterministic merge
             points = list(ex.map(evaluate, combos))
     return SweepResult(points)
+
+
+def _evaluate_process(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    base_config: EngineConfig,
+    combos: list[dict],
+    jobs: int,
+    cache: bool,
+) -> list[SweepPoint]:
+    """Grid evaluation on a process pool, cache consulted parent-side.
+
+    Workers know nothing of the cache: the parent resolves hits first,
+    dispatches only the misses (``executor.map`` preserves submission
+    order), then merges results back into their grid slots — point order
+    and tie-breaks match the serial sweep exactly.
+    """
+    from repro.bench.jobs import JobSpec, dataset_spec, engine_to_spec, run_jobspec
+
+    dspec = dataset_spec(app, data)
+    espec = engine_to_spec(engine)
+    points: list[Optional[SweepPoint]] = [None] * len(combos)
+    pending: list[tuple[int, dict, EngineConfig, Optional[str]]] = []
+    for i, chosen in enumerate(combos):
+        cfg = base_config.with_(**chosen)
+        result = None
+        disk_key = None
+        if cache:
+            disk_key = _disk_key(engine, app, data, cfg, cache)
+            result = RUN_CACHE.get(RunCache.key(engine, app, data, cfg), disk_key)
+        if result is None:
+            pending.append((i, chosen, cfg, disk_key))
+        else:
+            points[i] = SweepPoint(dict(chosen), result.sim_time, result)
+
+    if pending:
+        specs = [JobSpec(dspec, espec, cfg) for _, _, cfg, _ in pending]
+        with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as ex:
+            results = list(ex.map(run_jobspec, specs))
+        for (i, chosen, cfg, disk_key), result in zip(pending, results):
+            if cache:
+                RUN_CACHE.put(RunCache.key(engine, app, data, cfg), result, disk_key)
+            points[i] = SweepPoint(dict(chosen), result.sim_time, result)
+    return points  # type: ignore[return-value]
 
 
 #: the default tuning grid: buffer size and launch width, the two knobs
@@ -194,6 +497,7 @@ def autotune(
     grid: Optional[dict] = None,
     jobs: int = 1,
     cache: bool = False,
+    backend: str = "auto",
 ) -> tuple[EngineConfig, SweepResult]:
     """Find the engine's best configuration for this app/dataset.
 
@@ -201,8 +505,8 @@ def autotune(
     ``base_config`` with the winning grid overrides applied (all other
     base fields preserved). Ties follow :meth:`SweepResult.best`'s
     deterministic ordering. CPU engines are configuration-insensitive and
-    short-circuit to the base config. ``jobs``/``cache`` pass through to
-    :func:`sweep`.
+    short-circuit to the base config. ``jobs``/``cache``/``backend`` pass
+    through to :func:`sweep`.
     """
     base_config = base_config or EngineConfig()
     if engine.name.startswith("cpu"):
@@ -211,6 +515,13 @@ def autotune(
             [SweepPoint({}, result.sim_time, result)]
         )
     res = sweep(
-        engine, app, data, base_config, grid or DEFAULT_GRID, jobs=jobs, cache=cache
+        engine,
+        app,
+        data,
+        base_config,
+        grid or DEFAULT_GRID,
+        jobs=jobs,
+        cache=cache,
+        backend=backend,
     )
     return base_config.with_(**res.best.params), res

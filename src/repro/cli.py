@@ -13,9 +13,12 @@ Commands mirror the library's surfaces:
   differential; exits nonzero on any violation;
 * ``chaos`` — fault-injection sweep: the app x engine matrix under a
   seeded fault grid, with differential + invariant verification per cell
-  (see ``docs/faults.md``); exits nonzero on any failing cell;
+  (see ``docs/faults.md``); ``--jobs``/``--backend`` parallelize the
+  blocks without changing the fingerprint; exits nonzero on any failing
+  cell;
 * ``sweep`` — autotune one engine/app pair over the default grid, with
-  ``--jobs`` for parallel evaluation (see ``docs/performance.md``).
+  ``--jobs``/``--backend`` for parallel evaluation and a persistent run
+  cache (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
@@ -178,6 +181,8 @@ def cmd_chaos(args) -> int:
         quick=args.quick,
         seed=args.seed,
         data_bytes=args.data_mib * MiB if args.data_mib else None,
+        jobs=args.jobs,
+        backend=args.backend,
     )
     print(report.summary())
     print(f"fingerprint: {report.fingerprint()}")
@@ -212,6 +217,7 @@ def cmd_sweep(args) -> int:
         base_config=_settings(args).config,
         jobs=args.jobs,
         cache=True,
+        backend=args.backend,
     )
     rows = [
         [
@@ -289,6 +295,13 @@ def build_parser() -> argparse.ArgumentParser:
                      help="dataset size (MiB); 0 = sweep default")
     p_c.add_argument("--json", default="",
                      help="also write the FaultReport JSON to this path")
+    p_c.add_argument("--jobs", type=int, default=1,
+                     help="parallel (app, engine) blocks; the fingerprint "
+                          "is identical for any jobs/backend")
+    p_c.add_argument("--backend", default="auto",
+                     choices=["auto", "thread", "process"],
+                     help="executor for --jobs > 1 (auto picks process: "
+                          "faulted runs are DES-bound)")
 
     p_sw = sub.add_parser(
         "sweep", help="autotune one engine/app pair over the default grid"
@@ -298,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="engine to tune (default: bigkernel)")
     p_sw.add_argument("--jobs", type=int, default=1,
                       help="parallel sweep workers (0 = one per CPU)")
+    p_sw.add_argument("--backend", default="auto",
+                      choices=["auto", "thread", "process"],
+                      help="executor for --jobs > 1: process sidesteps the "
+                           "GIL for DES-bound grids, thread suits "
+                           "fastpath/cached ones (auto decides)")
     _add_common(p_sw)
 
     p_tr = sub.add_parser("trace", help="dump a BigKernel Chrome-trace timeline")

@@ -14,7 +14,13 @@ the plan, and checks that graceful degradation actually was graceful:
 Everything is seeded and deterministic: the same seed produces a
 byte-identical :class:`~repro.faults.report.FaultReport`
 (``report.fingerprint()`` is the contract ``tests/test_faults.py`` pins).
-Exposed as ``python -m repro chaos [--quick]``.
+That determinism is also what makes the sweep parallelizable: with
+``jobs > 1`` the grid is split into per-(app, engine) *blocks*, each block
+regenerates its dataset and oracle locally (nothing is shipped between
+processes but a picklable spec), and the plan-ordered cells come back in
+the exact serial nesting order — so the report fingerprint is identical
+whether the sweep ran serial, threaded, or across a process pool.
+Exposed as ``python -m repro chaos [--quick] [--jobs N] [--backend B]``.
 """
 
 from __future__ import annotations
@@ -47,6 +53,104 @@ def default_fault_grid(seed: int = 7) -> tuple[FaultPlan, ...]:
     )
 
 
+def _evaluate_cell(app, data, ref, engine, clean, plan, config) -> FaultCell:
+    """One faulted run, judged against the oracle and the clean run.
+
+    Shared by the serial path and both parallel backends so a cell is
+    scored by exactly one piece of code.
+    """
+    cfg = config.with_(faults=plan)
+    cell = FaultCell(
+        app=app.name,
+        engine=engine.name,
+        plan=plan.name or plan.describe(),
+        clean_time=clean.sim_time,
+    )
+    try:
+        res = engine.run(app, data, cfg)
+    except ReproError as exc:
+        # a typed error is a *policy decision* (e.g. a DMA fault
+        # past the retry budget), not a crash — but the default
+        # grid is recoverable, so it still fails the cell
+        cell.ok = False
+        cell.error = type(exc).__name__
+        cell.detail = str(exc)
+    else:
+        cell.fault_time = res.sim_time
+        problems = []
+        if not app.outputs_equal(ref.output, res.output):
+            problems.append("output mismatch vs cpu_serial")
+        if res.trace is not None:
+            inv = verify_run(res, cfg)
+            if not inv.ok:
+                problems.append(inv.summary())
+        cell.degradations = dict(res.metrics.notes.get("degradations", {}))
+        if "degraded_from" in res.metrics.notes:
+            cell.degradations["fallback"] = (
+                f"{res.metrics.notes['degraded_from']}->{res.engine}"
+            )
+        cell.stats = dict(res.metrics.notes.get("fault_stats", {}))
+        if problems:
+            cell.ok = False
+            cell.detail = "; ".join(problems)
+    return cell
+
+
+def _cell_block(app, engine, plans, config, seed, data_bytes) -> list[FaultCell]:
+    """All cells of one (app, engine) block, in plan order.
+
+    Regenerates the dataset and reruns the oracle locally — generation is
+    deterministic, so the block is self-contained and the cells match what
+    the serial nested loop would have produced, byte for byte.
+    """
+    data = app.generate(n_bytes=data_bytes, seed=seed)
+    ref = CpuSerialEngine().run(app, data, config)
+    clean = engine.run(app, data, config)
+    return [
+        _evaluate_cell(app, data, ref, engine, clean, plan, config)
+        for plan in plans
+    ]
+
+
+def _cell_block_spec(task) -> list[FaultCell]:
+    """Process-pool worker entry: rebuild the block from picklable specs."""
+    app_name, engine_spec, plans, config, seed, data_bytes = task
+    from repro.apps.base import get_app
+    from repro.bench.jobs import engine_from_spec
+
+    return _cell_block(
+        get_app(app_name), engine_from_spec(engine_spec), plans, config,
+        seed, data_bytes,
+    )
+
+
+def _resolve_backend(backend: str, jobs: int, apps, engines) -> str:
+    """Pick the executor; chaos is always DES-bound, so auto favors process."""
+    from repro.apps.base import APP_REGISTRY
+    from repro.bench.jobs import engine_to_spec
+    from repro.bench.sweep import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+    if jobs <= 1 or backend == "thread":
+        return "thread"
+    speccable = all(
+        APP_REGISTRY.get(app.name) is type(app) for app in apps
+    ) and all(engine_to_spec(engine) is not None for engine in engines)
+    if backend == "process" and not speccable:
+        raise ReproError(
+            "backend='process' needs registry apps and stock engines "
+            "(workers rebuild both from picklable specs); use "
+            "backend='thread' for custom instances"
+        )
+    # every faulted run forces the DES (faults have no analytic model), so
+    # chaos blocks hold the GIL for their whole duration: processes win
+    # whenever they are possible at all
+    return "process" if speccable else "thread"
+
+
 def run_chaos(
     quick: bool = False,
     seed: int = 7,
@@ -55,12 +159,21 @@ def run_chaos(
     engines: Optional[Iterable] = None,
     plans: Optional[Iterable[FaultPlan]] = None,
     config: Optional[EngineConfig] = None,
+    jobs: int = 1,
+    backend: str = "auto",
 ) -> FaultReport:
     """Run the fault grid over the app x engine matrix.
 
     ``quick`` is CI scale: one app, 1 MiB datasets. The full sweep covers a
     write-free app (wordcount) and a mapped-writes app (kmeans, which
     exercises the 6-stage pipeline and the pinned write-landing buffers).
+
+    ``jobs > 1`` fans the per-(app, engine) blocks across an executor —
+    ``backend="process"`` (a :class:`~concurrent.futures.ProcessPoolExecutor`
+    fed picklable specs, the default under ``"auto"`` since faulted runs
+    are DES-bound), or ``backend="thread"`` (shares live instances, works
+    for custom apps/engines). Cells are merged in the serial nesting order,
+    so ``report.fingerprint()`` is backend-invariant.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     config = config or EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
@@ -76,7 +189,44 @@ def run_chaos(
     )
     plans = tuple(plans) if plans is not None else default_fault_grid(seed)
 
+    from repro.bench.sweep import BACKENDS
+
+    if backend not in BACKENDS:
+        raise ReproError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
+
     report = FaultReport(seed=seed)
+    blocks = [(app, engine) for app in apps for engine in engines]
+    if jobs > 1 and len(blocks) > 1:
+        resolved = _resolve_backend(backend, jobs, apps, engines)
+        from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+        workers = min(jobs, len(blocks))
+        if resolved == "process":
+            from repro.bench.jobs import engine_to_spec
+
+            tasks = [
+                (app.name, engine_to_spec(engine), plans, config, seed,
+                 data_bytes)
+                for app, engine in blocks
+            ]
+            with ProcessPoolExecutor(max_workers=workers) as ex:
+                # executor.map preserves submission order: blocks come back
+                # in the serial nesting order regardless of finish order
+                for cells in ex.map(_cell_block_spec, tasks):
+                    report.cells.extend(cells)
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as ex:
+                for cells in ex.map(
+                    lambda b: _cell_block(
+                        b[0], b[1], plans, config, seed, data_bytes
+                    ),
+                    blocks,
+                ):
+                    report.cells.extend(cells)
+        return report
+
     oracle = CpuSerialEngine()
     for app in apps:
         data = app.generate(n_bytes=data_bytes, seed=seed)
@@ -84,41 +234,7 @@ def run_chaos(
         for engine in engines:
             clean = engine.run(app, data, config)
             for plan in plans:
-                cfg = config.with_(faults=plan)
-                cell = FaultCell(
-                    app=app.name,
-                    engine=engine.name,
-                    plan=plan.name or plan.describe(),
-                    clean_time=clean.sim_time,
+                report.cells.append(
+                    _evaluate_cell(app, data, ref, engine, clean, plan, config)
                 )
-                try:
-                    res = engine.run(app, data, cfg)
-                except ReproError as exc:
-                    # a typed error is a *policy decision* (e.g. a DMA fault
-                    # past the retry budget), not a crash — but the default
-                    # grid is recoverable, so it still fails the cell
-                    cell.ok = False
-                    cell.error = type(exc).__name__
-                    cell.detail = str(exc)
-                else:
-                    cell.fault_time = res.sim_time
-                    problems = []
-                    if not app.outputs_equal(ref.output, res.output):
-                        problems.append("output mismatch vs cpu_serial")
-                    if res.trace is not None:
-                        inv = verify_run(res, cfg)
-                        if not inv.ok:
-                            problems.append(inv.summary())
-                    cell.degradations = dict(
-                        res.metrics.notes.get("degradations", {})
-                    )
-                    if "degraded_from" in res.metrics.notes:
-                        cell.degradations["fallback"] = (
-                            f"{res.metrics.notes['degraded_from']}->{res.engine}"
-                        )
-                    cell.stats = dict(res.metrics.notes.get("fault_stats", {}))
-                    if problems:
-                        cell.ok = False
-                        cell.detail = "; ".join(problems)
-                report.cells.append(cell)
     return report

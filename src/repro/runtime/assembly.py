@@ -37,14 +37,12 @@ def gather_values(byte_view: np.ndarray, addresses: Sequence[AddressRecord]) -> 
     return out
 
 
-def gather_bytes(
+def _gather_bytes_reference(
     byte_view: np.ndarray, offsets: np.ndarray, elem_bytes: int
 ) -> np.ndarray:
-    """Vectorized gather of fixed-size elements into a contiguous buffer.
-
-    Returns ``len(offsets) * elem_bytes`` bytes in the order given — i.e.
-    GPU access order when ``offsets`` is the (interleaved) access stream.
-    """
+    """Reference implementation of :func:`gather_bytes` (full index-matrix
+    build). Kept as the equivalence oracle for the column-fill version —
+    see ``tests/test_runtime_assembly.py``."""
     offsets = np.asarray(offsets, dtype=np.int64)
     if offsets.size == 0:
         return np.empty(0, dtype=np.uint8)
@@ -53,6 +51,33 @@ def gather_bytes(
     # index matrix: offsets[:, None] + arange(elem_bytes)
     idx = offsets[:, None] + np.arange(elem_bytes, dtype=np.int64)[None, :]
     return byte_view[idx.reshape(-1)]
+
+
+def gather_bytes(
+    byte_view: np.ndarray, offsets: np.ndarray, elem_bytes: int
+) -> np.ndarray:
+    """Vectorized gather of fixed-size elements into a contiguous buffer.
+
+    Returns ``len(offsets) * elem_bytes`` bytes in the order given — i.e.
+    GPU access order when ``offsets`` is the (interleaved) access stream.
+
+    Fills the output a byte-column at a time (``elem_bytes`` fancy gathers
+    of ``len(offsets)`` indices each), so peak index scratch is one int64
+    per offset instead of the ``len(offsets) x elem_bytes`` int64 matrix
+    the reference builds — 8 x ``elem_bytes`` bytes of traffic per gathered
+    byte, gone.
+    """
+    offsets = np.asarray(offsets, dtype=np.int64)
+    if offsets.size == 0:
+        return np.empty(0, dtype=np.uint8)
+    if offsets.min() < 0 or offsets.max() + elem_bytes > byte_view.size:
+        raise RuntimeConfigError("gather offsets outside the mapped array")
+    if elem_bytes == 1:
+        return byte_view[offsets]
+    out = np.empty((offsets.size, elem_bytes), dtype=np.uint8)
+    for j in range(elem_bytes):
+        out[:, j] = byte_view[offsets + j]
+    return out.reshape(-1)
 
 
 def _interleave_layout_loop(

@@ -8,11 +8,23 @@ each of those features is tested directly.
 Determinism: ties in time are broken first by event *priority* (``URGENT``
 before ``NORMAL``) and then by schedule order, so repeated runs of the same
 model produce identical timelines.
+
+Performance: this module is the simulator's hot loop — every chunk of every
+pipeline stage turns into a handful of events here, and DES-bound workloads
+(traced, verified, or faulted runs) spend most of their wall-clock inside
+:meth:`Environment.run`. The implementation therefore uses ``__slots__`` on
+the event classes, binds the heap and callback list to locals inside the
+dispatch loop, and flattens the common :class:`Timeout` construction into a
+single heap push. None of this changes scheduling order: the heap entries,
+the ``_eid`` sequence and the tie-break tuple are byte-for-byte the same as
+the straightforward implementation, so timelines stay bit-identical (the
+calibration locks in ``tests/test_calibration_lock.py`` pin this at 1e-9).
 """
 
 from __future__ import annotations
 
-import heapq
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import Deadlock, Interrupt, SimulationError
@@ -34,6 +46,8 @@ class Event:
     :meth:`succeed` or :meth:`fail`) and scheduled, and *processed* once the
     environment has run their callbacks.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment"):
         self.env = env
@@ -107,22 +121,40 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
-    def __init__(self, env: "Environment", delay: float, value: Any = None):
+    __slots__ = ("delay",)
+
+    def __init__(
+        self,
+        env: "Environment",
+        delay: float,
+        value: Any = None,
+        _NORMAL: int = NORMAL,
+        _heappush: Callable = heappush,
+    ):
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ + env.schedule: timeouts are by far the
+        # most-constructed event, and the heap entry below is identical to
+        # what schedule() would push (same _eid sequence, same tuple).
+        self.env = env
+        self.callbacks = []
         self._value = value
-        env.schedule(self, delay=delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        eid = env._eid + 1
+        env._eid = eid
+        _heappush(env._queue, (env._now + delay, _NORMAL, eid, self))
 
 
 class Initialize(Event):
     """Internal event used to start a new process on the next step."""
 
+    __slots__ = ()
+
     def __init__(self, env: "Environment", process: "Process"):
         super().__init__(env)
-        self.callbacks.append(process._resume)
+        self.callbacks.append(process._resume_cb)
         self._ok = True
         self._value = None
         env.schedule(self, priority=URGENT)
@@ -136,6 +168,8 @@ class Process(Event):
     join on it.
     """
 
+    __slots__ = ("_generator", "_target", "name", "_resume_cb")
+
     def __init__(self, env: "Environment", generator: Generator):
         if not hasattr(generator, "throw"):
             raise SimulationError(
@@ -143,6 +177,9 @@ class Process(Event):
             )
         super().__init__(env)
         self._generator = generator
+        #: the bound resume callback, created once — appending ``_resume``
+        #: directly would allocate a fresh bound method per wait
+        self._resume_cb = self._resume
         self._target: Optional[Event] = Initialize(env, self)
         self.name = getattr(generator, "__name__", "process")
 
@@ -165,38 +202,40 @@ class Process(Event):
         wake._ok = False
         wake._value = Interrupt(cause)
         wake._defused = True
-        wake.callbacks.append(self._resume)
+        wake.callbacks.append(self._resume_cb)
         self.env.schedule(wake, priority=URGENT)
         # Detach from the event we were waiting on.
         target = self._target
-        if target.callbacks is not None and self._resume in target.callbacks:
-            target.callbacks.remove(self._resume)
+        if target.callbacks is not None and self._resume_cb in target.callbacks:
+            target.callbacks.remove(self._resume_cb)
         self._target = wake
 
     # -- engine internals ---------------------------------------------------
     def _resume(self, event: Event) -> None:
         """Advance the generator with ``event``'s outcome."""
-        self.env._active_process = self
+        env = self.env
+        env._active_process = self
+        send = self._generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     next_event = self._generator.throw(event._value)
             except StopIteration as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.succeed(exc.value)
                 return
             except BaseException as exc:
                 self._target = None
-                self.env._active_process = None
+                env._active_process = None
                 self.fail(exc)
                 return
 
             if not isinstance(next_event, Event):
-                self.env._active_process = None
+                env._active_process = None
                 exc = SimulationError(
                     f"process {self.name!r} yielded a non-event: {next_event!r}"
                 )
@@ -210,9 +249,9 @@ class Process(Event):
 
             if next_event.callbacks is not None:
                 # Still pending or scheduled: wait for it.
-                next_event.callbacks.append(self._resume)
+                next_event.callbacks.append(self._resume_cb)
                 self._target = next_event
-                self.env._active_process = None
+                env._active_process = None
                 return
             # Already processed: continue immediately with its value.
             event = next_event
@@ -220,6 +259,8 @@ class Process(Event):
 
 class Condition(Event):
     """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_done")
 
     def __init__(self, env: "Environment", events: Iterable[Event]):
         super().__init__(env)
@@ -247,6 +288,8 @@ class Condition(Event):
 class AllOf(Condition):
     """Triggers when every constituent event has succeeded."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -262,6 +305,8 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Triggers as soon as one constituent event has succeeded."""
 
+    __slots__ = ()
+
     def _check(self, event: Event) -> None:
         if self.triggered:
             return
@@ -275,11 +320,17 @@ class AnyOf(Condition):
 class Environment:
     """Owns the simulated clock and the pending event heap."""
 
+    __slots__ = ("_now", "_queue", "_eid", "_active_process", "timeout")
+
     def __init__(self, initial_time: float = 0.0):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = 0
         self._active_process: Optional[Process] = None
+        #: create an event that fires ``delay`` seconds from now — bound as
+        #: a C-level partial because timeouts dominate event construction
+        #: (a plain method would add a Python frame per timeout)
+        self.timeout: Callable[..., Timeout] = partial(Timeout, self)
 
     @property
     def now(self) -> float:
@@ -295,10 +346,6 @@ class Environment:
     def event(self) -> Event:
         """Create a fresh, untriggered event."""
         return Event(self)
-
-    def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """Create an event that fires ``delay`` seconds from now."""
-        return Timeout(self, delay, value)
 
     def process(self, generator: Generator) -> Process:
         """Register ``generator`` as a new simulated process."""
@@ -318,7 +365,7 @@ class Environment:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, priority, self._eid, event))
+        heappush(self._queue, (self._now + delay, priority, self._eid, event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
@@ -328,7 +375,7 @@ class Environment:
         """Process the single next event."""
         if not self._queue:
             raise Deadlock("event queue is empty")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        self._now, _, _, event = heappop(self._queue)
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -353,16 +400,37 @@ class Environment:
                     f"until={stop_time} is in the past (now={self._now})"
                 )
 
-        while self._queue:
+        # The dispatch below is step() inlined with the heap bound to a
+        # local, split per stopping condition so the per-event overhead of
+        # the unused conditions is never paid. Event order is exactly
+        # step()'s: heappop on (time, priority, eid).
+        queue = self._queue
+        if stop_event is None and stop_time == float("inf"):
+            # run-to-exhaustion: the pipeline's common case
+            while queue:
+                self._now, _, _, event = heappop(queue)
+                callbacks, event.callbacks = event.callbacks, None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    raise event._value
+            return None
+
+        while queue:
             if stop_event is not None and stop_event.callbacks is None:
                 if not stop_event._ok:
                     stop_event._defused = True
                     raise stop_event._value
                 return stop_event._value
-            if self.peek() > stop_time:
+            if queue[0][0] > stop_time:
                 self._now = stop_time
                 return None
-            self.step()
+            self._now, _, _, event = heappop(queue)
+            callbacks, event.callbacks = event.callbacks, None
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
         if stop_event is not None:
             if stop_event.callbacks is None:
