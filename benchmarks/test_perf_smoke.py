@@ -223,3 +223,64 @@ def test_des_bound_sweep_process_vs_thread():
             f"{PROCESS_WARN_SPEEDUP:.0f}x expectation (warn-only)",
             stacklevel=2,
         )
+
+
+def test_kernel_exec_throughput():
+    """Compiled NumPy backend vs the tree-walking interpreter on the dna
+    kernel: same outputs and counters, >= 10x elements/sec expected."""
+    import numpy as np
+
+    from repro.kernelc.codegen import KernelInterpreter
+    from repro.kernelc.compile import (
+        compile_kernel,
+        resident_kinds_of,
+        vector_fn_names,
+    )
+
+    app = get_app("dna")
+    data = app.generate(n_bytes=512 * 1024, seed=7)
+    n = app.n_units(data)
+    kernel = app.kernel()
+
+    ctx_i = app.make_ir_context(data)
+    t0 = time.perf_counter()
+    interp = KernelInterpreter(kernel, ctx_i)
+    interp.run_thread(0, 0, n)
+    t_interp = time.perf_counter() - t0
+
+    ctx_c = app.make_ir_context(data)
+    compiled = compile_kernel(
+        kernel,
+        vector_fns=vector_fn_names(ctx_c.device_fns),
+        resident_kinds=resident_kinds_of(ctx_c.resident),
+    )
+    t0 = time.perf_counter()
+    run = compiled.run_range(ctx_c, 0, n)
+    t_compiled = time.perf_counter() - t0
+
+    # exactness is non-negotiable; only the wall-clock is warn-only
+    assert np.array_equal(
+        ctx_i.resident["table"], ctx_c.resident["table"]
+    )
+    assert run.stats.n_ops == interp.stats.n_ops
+    assert run.stats.mapped_read_bytes == interp.stats.mapped_read_bytes
+
+    speedup = t_interp / t_compiled if t_compiled > 0 else float("inf")
+    _record(
+        {
+            "name": "kernel_exec_throughput",
+            "app": "dna",
+            "n_records": n,
+            "interp_elements_per_sec": n / t_interp,
+            "compiled_elements_per_sec": n / t_compiled,
+            "speedup": speedup,
+            "interp_seconds": t_interp,
+            "compiled_seconds": t_compiled,
+        }
+    )
+    if speedup < 10.0:
+        warnings.warn(
+            f"kernel_exec_throughput: compiled backend {speedup:.1f}x below "
+            f"the 10x expectation (warn-only; see BENCH_pipeline.json)",
+            stacklevel=2,
+        )

@@ -259,6 +259,12 @@ class Application(abc.ABC):
     writes_mapped: bool = False
     #: how many passes over the mapped data the computation makes
     n_passes: int = 1
+    #: whether the vectorized backend (repro.kernelc.compile) is expected
+    #: to admit this app's kernel; False = the vectorizability analysis is
+    #: known to reject it (loop-carried state) and the interpreter fallback
+    #: is the documented behaviour — ``verify --compiled`` asserts the
+    #: verdict matches this expectation either way
+    compiled_expected: bool = True
 
     def __init_subclass__(cls, **kwargs):
         super().__init_subclass__(**kwargs)

@@ -157,6 +157,20 @@ class KMeansApp(Application):
             d = (c[:, 0] - x) ** 2 + (c[:, 1] - y) ** 2 + (c[:, 2] - z) ** 2
             return np.int32(np.argmin(d))
 
+        def find_closest_batch(ctx, x, y, z):
+            # batch form used by the compiled backend: one distance matrix
+            # per lane-block, argmin along the cluster axis (ties resolve to
+            # the lowest id, same as the scalar np.argmin)
+            c = ctx.resident["clusters"]
+            d = (
+                (c[None, :, 0] - x[:, None]) ** 2
+                + (c[None, :, 1] - y[:, None]) ** 2
+                + (c[None, :, 2] - z[:, None]) ** 2
+            )
+            return np.argmin(d, axis=1)
+
+        find_closest.vectorized = find_closest_batch
+
         return ExecutionContext(
             mapped={"particles": data.mapped["particles"]},
             resident={"clusters": data.resident["clusters"]},

@@ -113,7 +113,7 @@ class NetflixApp(Application):
         return corr
 
     def outputs_equal(self, a: Any, b: Any) -> bool:
-        return bool(np.allclose(a, b, atol=1e-9))
+        return bool(np.allclose(a, b, rtol=0, atol=1e-9))
 
     # ---------------------------------------------------- characterization
     def access_profile(self, data: AppData) -> AccessProfile:

@@ -86,6 +86,9 @@ class WordCountApp(Application):
     display_name = "Word Count"
     paper_data_bytes = int(4.5 * GB)
     writes_mapped = False
+    #: the running hash/length (h, n) are loop-carried across records, so
+    #: the vectorized backend rejects this kernel by design
+    compiled_expected = False
 
     # ------------------------------------------------------------- data
     def generate(self, n_bytes: Optional[int] = None, seed: int = 0) -> AppData:

@@ -339,6 +339,7 @@ def _resolve_backend(
     data: AppData,
     config: EngineConfig,
     jobs: int,
+    n_points: int = 0,
 ) -> str:
     """Pick thread vs process; validate explicit process requests."""
     if backend not in BACKENDS:
@@ -360,7 +361,13 @@ def _resolve_backend(
             )
         return "process"
     # auto: processes pay a fork + regeneration tax, so only buy real
-    # parallelism where threads cannot provide it (the GIL-bound DES)
+    # parallelism where threads cannot provide it (the GIL-bound DES) AND
+    # the machine/grid can amortize the tax — on a 1-2 core box or a tiny
+    # grid the workers serialize anyway and the process backend measured
+    # 0.35x (BENCH_pipeline.json, 1-core run)
+    cores = os.cpu_count() or 1
+    if cores <= 2 or (n_points and n_points < 4):
+        return "thread"
     return "process" if speccable and _des_bound(app, config) else "thread"
 
 
@@ -407,7 +414,9 @@ def sweep(
     ]
 
     jobs = _resolve_jobs(jobs) if jobs != 1 else 1
-    chosen_backend = _resolve_backend(backend, engine, app, data, base_config, jobs)
+    chosen_backend = _resolve_backend(
+        backend, engine, app, data, base_config, jobs, n_points=len(combos)
+    )
     if chosen_backend == "process" and len(combos) > 1:
         return SweepResult(
             _evaluate_process(engine, app, data, base_config, combos, jobs, cache)

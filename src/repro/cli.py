@@ -169,6 +169,7 @@ def cmd_verify(args) -> int:
         data_bytes=args.data_mib * MiB if args.data_mib else None,
         fuzz_iterations=args.fuzz_iters,
         fastpath=args.fastpath,
+        compiled=args.compiled,
     )
     print(summary.summary())
     return 0 if summary.ok else 1
@@ -280,6 +281,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_v.add_argument("--fastpath", action="store_true",
                      help="also run the fastpath-vs-des differential "
                           "(analytic pipeline against the simulator)")
+    p_v.add_argument("--compiled", action="store_true",
+                     help="also run the compiled-vs-interpreter differential "
+                          "(vectorized kernel backend against the "
+                          "tree-walking oracle)")
 
     p_c = sub.add_parser(
         "chaos",

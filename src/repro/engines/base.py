@@ -46,8 +46,17 @@ class EngineConfig:
     #: deterministic fault plan (``repro.faults``); None = clean run. An
     #: active plan forces the DES and engages the degradation policies
     faults: Optional[FaultPlan] = None
+    #: kernel-IR executor: "compiled" demands the vectorized NumPy backend
+    #: (raises ``VectorizationError`` for kernels it cannot lower), "interp"
+    #: forces the tree-walking interpreter, "auto" compiles when the
+    #: vectorizability analysis admits the kernel and falls back otherwise
+    kernel_exec: str = "auto"
 
     def __post_init__(self):
+        if self.kernel_exec not in ("auto", "compiled", "interp"):
+            raise RuntimeConfigError(
+                "kernel_exec must be 'auto', 'compiled', or 'interp'"
+            )
         if self.chunk_bytes < 1024:
             raise RuntimeConfigError("chunk_bytes must be at least 1 KiB")
         if self.num_blocks < 1:

@@ -64,6 +64,15 @@ class SlicingError(CompilerError):
     """
 
 
+class VectorizationError(CompilerError):
+    """The kernel cannot be lowered to the vectorized (compiled) backend.
+
+    Raised only when the caller *demanded* compilation
+    (``kernel_exec="compiled"``); under ``"auto"`` the analysis verdict
+    silently routes execution to the tree-walking interpreter instead.
+    """
+
+
 class RuntimeConfigError(ReproError):
     """Invalid BigKernel runtime configuration (buffer sizes, block counts)."""
 

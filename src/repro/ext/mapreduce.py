@@ -121,7 +121,7 @@ class MapReduceApp(Application):
         return state["table"]
 
     def outputs_equal(self, a: Any, b: Any) -> bool:
-        return bool(np.allclose(a, b, atol=1e-9, equal_nan=True))
+        return bool(np.allclose(a, b, rtol=0, atol=1e-9, equal_nan=True))
 
     # ---------------------------------------------------- characterization
     def access_profile(self, data: AppData) -> AccessProfile:

@@ -25,6 +25,7 @@ Exposed as ``python -m repro chaos [--quick] [--jobs N] [--backend B]``.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Optional
 
 from repro.apps import KMeansApp, WordCountApp
@@ -139,15 +140,21 @@ def _resolve_backend(backend: str, jobs: int, apps, engines) -> str:
     speccable = all(
         APP_REGISTRY.get(app.name) is type(app) for app in apps
     ) and all(engine_to_spec(engine) is not None for engine in engines)
-    if backend == "process" and not speccable:
-        raise ReproError(
-            "backend='process' needs registry apps and stock engines "
-            "(workers rebuild both from picklable specs); use "
-            "backend='thread' for custom instances"
-        )
+    if backend == "process":
+        if not speccable:
+            raise ReproError(
+                "backend='process' needs registry apps and stock engines "
+                "(workers rebuild both from picklable specs); use "
+                "backend='thread' for custom instances"
+            )
+        return "process"
     # every faulted run forces the DES (faults have no analytic model), so
     # chaos blocks hold the GIL for their whole duration: processes win
-    # whenever they are possible at all
+    # whenever they are possible at all — except on a 1-2 core box or a
+    # tiny grid, where the fork + regeneration tax never amortizes
+    cores = os.cpu_count() or 1
+    if cores <= 2 or len(apps) * len(engines) < 3:
+        return "thread"
     return "process" if speccable else "thread"
 
 

@@ -11,22 +11,33 @@ transferring everything.
 
 from __future__ import annotations
 
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
 from repro.errors import SlicingError
 from repro.kernelc.ir import (
     Assign,
+    AtomicAdd,
+    BinOp,
+    Break,
     Call,
+    Const,
+    DataBufLoad,
+    EmitAddress,
     Expr,
     For,
     If,
     Kernel,
     Load,
     MappedRef,
+    Param,
+    ResidentLoad,
+    ResidentStore,
     Stmt,
     Store,
     Var,
     While,
+    WriteBufStore,
     stmt_bodies,
     stmt_exprs,
     walk_exprs,
@@ -196,3 +207,380 @@ def require_sliceable(kernel: Kernel) -> None:
             "control flow) from mapped data; BigKernel falls back to "
             "transferring all data for it"
         )
+
+
+# ---------------------------------------------------------------------------
+# Vectorizability analysis for the compiled (NumPy batch) backend
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VectorizationReport:
+    """Verdict of :func:`analyze_vectorizable`.
+
+    ``ok`` means the kernel can be lowered to the NumPy batch executor
+    with semantics (outputs, InterpStats, emitted address streams)
+    identical to the tree-walking interpreter; ``reasons`` names every
+    obstruction found otherwise, so the fallback is explainable.
+    """
+
+    ok: bool
+    reasons: tuple = ()
+    rec_var: Optional[str] = None
+    n_pre: int = 0
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def _stmt_eval_exprs(stmt: Stmt) -> tuple:
+    """Every expression the interpreter evaluates for ``stmt`` (including
+    the index expressions hidden inside mapped refs, which ``stmt_exprs``
+    does not surface for all node kinds)."""
+    if isinstance(stmt, Store):
+        return (stmt.value, stmt.ref.index)
+    if isinstance(stmt, WriteBufStore):
+        return (stmt.original.index, stmt.value)
+    if isinstance(stmt, EmitAddress):
+        return (stmt.ref.index,)
+    out = []
+    for e in stmt_exprs(stmt):
+        if isinstance(e, MappedRef):
+            out.append(e.index)
+        else:
+            out.append(e)
+    return tuple(out)
+
+
+def _expr_reads(expr: Expr) -> set:
+    """Variable names read by ``expr`` (including inside mapped refs)."""
+    return {e.name for e in walk_exprs(expr) if isinstance(e, Var)}
+
+
+def _assigned_names(body) -> set:
+    """All names written anywhere in ``body`` (assignments + loop vars)."""
+    out = set()
+    for s in walk_stmts(body):
+        if isinstance(s, Assign):
+            out.add(s.var)
+        elif isinstance(s, For):
+            out.add(s.var)
+    return out
+
+
+def _is_uniform_expr(expr: Expr, uniform_vars: set) -> bool:
+    """True when ``expr`` is the same for every record in the range."""
+    for e in walk_exprs(expr):
+        if isinstance(e, Var) and e.name not in uniform_vars:
+            return False
+        if isinstance(e, (Load, DataBufLoad, Call, ResidentLoad, MappedRef)):
+            return False
+    return True
+
+
+def _is_param_uniform(expr: Expr) -> bool:
+    """True when ``expr`` reads only Const/Param leaves (uniform across the
+    whole launch, so a plain Python ``if`` preserves per-record semantics)."""
+    return all(
+        isinstance(e, (Const, Param, BinOp)) or type(e).__name__ == "UnOp"
+        for e in walk_exprs(expr)
+    )
+
+
+def _scan_definite(body, sure: set, assigned_in_loop: set, reasons: list,
+                   where: str) -> set:
+    """Definite-assignment scan of one record-loop iteration.
+
+    A read of a name that *some* iteration assigns but that is not
+    definitely assigned earlier in the *current* iteration is a
+    loop-carried dependence: lane ``k`` would observe lane ``k-1``'s
+    value, which an all-lanes-at-once executor cannot reproduce.
+    Returns the set of names definitely assigned by ``body``.
+    """
+    sure = set(sure)
+    for stmt in body:
+        for expr in _stmt_eval_exprs(stmt):
+            carried = (_expr_reads(expr) & assigned_in_loop) - sure
+            if carried:
+                reasons.append(
+                    f"loop-carried read of {sorted(carried)} in {where}"
+                )
+        if isinstance(stmt, Assign):
+            sure.add(stmt.var)
+        elif isinstance(stmt, If):
+            s_then = _scan_definite(
+                stmt.then_body, sure, assigned_in_loop, reasons, where
+            )
+            s_else = _scan_definite(
+                stmt.else_body, sure, assigned_in_loop, reasons, where
+            )
+            sure = s_then & s_else
+        elif isinstance(stmt, For):
+            # the inner body re-executes: reads of names it assigns later
+            # in the same body would be carried between *inner* iterations
+            # only if not definitely assigned first — run the scan with the
+            # inner loop var considered sure (it is bound each iteration)
+            inner_sure = sure | {stmt.var}
+            _scan_definite(
+                stmt.body, inner_sure, assigned_in_loop, reasons,
+                f"inner loop {stmt.var!r} in {where}",
+            )
+            # conservatively: nothing an inner loop assigns is definite
+            # (it may run zero iterations)
+    return sure
+
+
+def _residue_disjoint(stmts) -> bool:
+    """True when every AtomicAdd index is ``E*C + k`` with one shared
+    ``(E, C)`` and pairwise-distinct ``k`` in ``[0, C)`` — each slot is
+    then touched by exactly one statement, so per-statement batch order
+    equals per-record interpreter order bit-for-bit even for floats."""
+    keys = set()
+    offsets = []
+    for s in stmts:
+        idx = s.index
+        if not (
+            isinstance(idx, BinOp) and idx.op == "+"
+            and isinstance(idx.lhs, BinOp) and idx.lhs.op == "*"
+            and isinstance(idx.lhs.rhs, Const)
+            and isinstance(idx.rhs, Const)
+        ):
+            return False
+        scale = idx.lhs.rhs.value
+        keys.add((repr(idx.lhs.lhs), scale))
+        if not (0 <= idx.rhs.value < scale):
+            return False
+        offsets.append(idx.rhs.value)
+    return len(keys) == 1 and len(offsets) == len(set(offsets))
+
+
+def analyze_vectorizable(
+    kernel: Kernel,
+    vector_fns: Iterable[str] = (),
+    resident_kinds: Optional[dict] = None,
+    databuf_mode: str = "window",
+) -> VectorizationReport:
+    """Decide whether ``kernel`` can run on the NumPy batch backend.
+
+    ``vector_fns`` names the device functions that carry a ``vectorized``
+    batch implementation; ``resident_kinds`` maps resident array names to
+    their NumPy dtype kind character (``"i"``/``"u"``/``"f"``; anything
+    else, including ``None`` for non-array residents, is opaque) — it
+    gates the float-``AtomicAdd`` ordering rules. ``databuf_mode`` selects
+    how ``DataBufLoad`` is lowered: ``"queue"`` (positional pops, only
+    legal unmasked at the record-body top level) or ``"window"``
+    (offset-indexed fallback windows, legal anywhere).
+    """
+    vector_fns = set(vector_fns)
+    resident_kinds = resident_kinds or {}
+    reasons: list = []
+
+    # ---- canonical shape: uniform prelude + exactly one record loop
+    n_pre = 0
+    rec_for = None
+    for stmt in kernel.body:
+        if rec_for is not None:
+            reasons.append("statements after the record loop")
+            break
+        if isinstance(stmt, For):
+            rec_for = stmt
+        elif isinstance(stmt, Assign) and _is_uniform_expr(
+            stmt.value, BUILTIN_VARS
+        ):
+            n_pre += 1
+        else:
+            reasons.append(
+                f"non-uniform pre-loop statement {type(stmt).__name__}"
+            )
+    if rec_for is None:
+        reasons.append("no top-level record loop over [start, end)")
+        return VectorizationReport(False, tuple(reasons))
+    rec_var = rec_for.var
+    for e in (rec_for.start, rec_for.end, rec_for.step):
+        if not _is_uniform_expr(e, BUILTIN_VARS):
+            reasons.append("record-loop bounds are not uniform")
+
+    body = rec_for.body
+    all_stmts = list(walk_stmts(body))
+
+    # ---- hard structural rejections
+    for s in all_stmts:
+        if isinstance(s, (While, Break)):
+            reasons.append(f"data-dependent {type(s).__name__} in record body")
+        if isinstance(s, Assign) and s.var == rec_var:
+            reasons.append("record loop variable reassigned in body")
+        if isinstance(s, For):
+            if s.var == rec_var:
+                reasons.append("record loop variable shadowed by inner loop")
+            if any(s.var == a.var for a in walk_stmts(s.body)
+                   if isinstance(a, Assign)):
+                reasons.append(f"inner loop variable {s.var!r} reassigned")
+            uniform = BUILTIN_VARS | set(kernel.params)
+            for e in (s.start, s.end, s.step):
+                if not _is_uniform_expr(e, uniform):
+                    reasons.append(
+                        f"inner loop {s.var!r} has non-uniform bounds"
+                    )
+
+    # ---- loop-carried dependences
+    assigned = _assigned_names(body)
+    assigned.discard(rec_var)
+    _scan_definite(body, {rec_var}, assigned, reasons, "record body")
+
+    # ---- opaque calls need a batch implementation
+    for s in all_stmts:
+        for expr in _stmt_eval_exprs(s):
+            for e in walk_exprs(expr):
+                if isinstance(e, Call) and e.fn not in vector_fns:
+                    reasons.append(
+                        f"device function {e.fn!r} has no vectorized form"
+                    )
+                if isinstance(e, Load):
+                    fspec = kernel.schema(e.ref.array).field(e.ref.field_name)
+                    if fspec.dtype in ("u8",):
+                        reasons.append(
+                            f"load of {fspec.dtype} field {e.ref.field_name!r}"
+                            " exceeds the int64 lane width"
+                        )
+
+    # ---- mapped stores: one writer lane per slot, in lane order
+    for s in all_stmts:
+        ref = (s.ref if isinstance(s, Store)
+               else s.original if isinstance(s, WriteBufStore) else None)
+        if ref is not None and ref.index != Var(rec_var):
+            reasons.append(
+                f"mapped store to {ref.array!r} indexed by "
+                f"{type(ref.index).__name__}, not the record variable"
+            )
+
+    # ---- databuf pops
+    if any(isinstance(e, DataBufLoad) for s in all_stmts
+           for x in _stmt_eval_exprs(s) for e in walk_exprs(x)):
+        if databuf_mode == "queue":
+            # positional pops are only order-preserving when every lane
+            # executes every pop exactly once: top level of the record body
+            for stmt in body:
+                for sub in walk_stmts([stmt]):
+                    if sub is stmt:
+                        continue
+                    for expr in _stmt_eval_exprs(sub):
+                        if any(isinstance(e, DataBufLoad)
+                               for e in walk_exprs(expr)):
+                            reasons.append(
+                                "queue-mode DataBufLoad under control flow"
+                            )
+
+    # ---- resident-array hazards
+    _check_resident_hazards(body, resident_kinds, reasons)
+
+    reasons = sorted(set(reasons))
+    return VectorizationReport(not reasons, tuple(reasons), rec_var, n_pre)
+
+
+def _region_exclusive(a: tuple, b: tuple) -> bool:
+    """Two uniform-If region paths that diverge at the same node are
+    mutually exclusive (only one branch runs for the whole launch)."""
+    for (ida, bra), (idb, brb) in zip(a, b):
+        if ida != idb:
+            return False
+        if bra != brb:
+            return True
+    return False
+
+
+def _check_resident_hazards(body, resident_kinds: dict, reasons: list) -> None:
+    """Batch execution reorders resident accesses from per-record to
+    per-statement; flag every interleaving the reorder could change."""
+    accesses: list = []  # (array, kind, region, stmt, in_inner_loop)
+
+    def visit(stmts, region: tuple, in_loop: bool) -> None:
+        for idx, stmt in enumerate(stmts):
+            if isinstance(stmt, (Assign, Store, WriteBufStore, EmitAddress,
+                                 ResidentStore, AtomicAdd, If, For)):
+                for expr in _stmt_eval_exprs(stmt):
+                    for e in walk_exprs(expr):
+                        if isinstance(e, ResidentLoad):
+                            accesses.append(
+                                (e.array, "load", region, stmt, in_loop)
+                            )
+            if isinstance(stmt, ResidentStore):
+                accesses.append((stmt.array, "store", region, stmt, in_loop))
+            elif isinstance(stmt, AtomicAdd):
+                accesses.append((stmt.array, "atomic", region, stmt, in_loop))
+            elif isinstance(stmt, If):
+                if _is_param_uniform(stmt.cond):
+                    visit(stmt.then_body, region + ((id(stmt), 0),), in_loop)
+                    visit(stmt.else_body, region + ((id(stmt), 1),), in_loop)
+                else:
+                    visit(stmt.then_body, region, in_loop)
+                    visit(stmt.else_body, region, in_loop)
+            elif isinstance(stmt, For):
+                visit(stmt.body, region, True)
+
+    visit(body, (), False)
+
+    by_array: dict = {}
+    for array, kind, region, stmt, in_loop in accesses:
+        by_array.setdefault(array, []).append((kind, region, stmt, in_loop))
+
+    for array, accs in by_array.items():
+        kinds = {k for k, _, _, _ in accs}
+        writes = [a for a in accs if a[0] in ("store", "atomic")]
+        dtype_kind = resident_kinds.get(array)
+        # read-after-write / write-after-read across lanes
+        if "load" in kinds and writes:
+            pairs_ok = all(
+                _region_exclusive(r1, r2)
+                for k1, r1, _, _ in accs if k1 == "load"
+                for k2, r2, _, _ in writes
+            )
+            if not pairs_ok:
+                reasons.append(
+                    f"resident array {array!r} is read and written in the "
+                    "same region (cross-lane RAW hazard)"
+                )
+        # plain stores: ≤ 1 statement per mutually-reachable region
+        stores = [a for a in accs if a[0] == "store"]
+        for _, _, stmt, in_loop in stores:
+            if in_loop:
+                reasons.append(
+                    f"ResidentStore to {array!r} inside an inner loop"
+                )
+        for i, (_, r1, s1, _) in enumerate(stores):
+            for _, r2, s2, _ in stores[i + 1:]:
+                if s1 is not s2 and not _region_exclusive(r1, r2):
+                    reasons.append(
+                        f"multiple ResidentStore statements to {array!r} "
+                        "in one region"
+                    )
+        if stores and "atomic" in kinds:
+            if not all(
+                _region_exclusive(r1, r2)
+                for k1, r1, _, _ in accs if k1 == "store"
+                for k2, r2, _, _ in accs if k2 == "atomic"
+            ):
+                reasons.append(
+                    f"resident array {array!r} mixes ResidentStore and "
+                    "AtomicAdd in one region"
+                )
+        if stores and dtype_kind is None:
+            reasons.append(
+                f"resident array {array!r} is written but is not a typed "
+                "1-D array"
+            )
+        # float accumulation: batch order must provably match lane order
+        atomics = [a for a in accs if a[0] == "atomic"]
+        if atomics and dtype_kind is None:
+            reasons.append(
+                f"AtomicAdd target {array!r} is not a typed 1-D array"
+            )
+        elif atomics and dtype_kind not in ("i", "u", "b"):
+            if any(in_loop for _, _, _, in_loop in atomics):
+                reasons.append(
+                    f"float AtomicAdd to {array!r} inside an inner loop"
+                )
+            stmts = [s for _, _, s, _ in atomics]
+            if len(set(map(id, stmts))) > 1 and not _residue_disjoint(stmts):
+                reasons.append(
+                    f"multiple float AtomicAdd statements to {array!r} "
+                    "without residue-disjoint slots"
+                )

@@ -31,6 +31,13 @@ from repro.engines.base import EngineConfig, RunResult
 from repro.engines.bigkernel import BigKernelEngine
 from repro.errors import RuntimeConfigError, SlicingError
 from repro.kernelc.codegen import ExecutionContext, KernelInterpreter
+from repro.kernelc.compile import (
+    affine_streams,
+    compile_kernel,
+    resident_kinds_of,
+    try_compile_kernel,
+    vector_fn_names,
+)
 from repro.kernelc.ir import Kernel
 from repro.kernelc.slicing import make_addrgen_kernel
 from repro.kernelc.validate import validate_kernel
@@ -67,8 +74,13 @@ class KernelApplication(Application):
         params: Optional[dict] = None,
         device_fns: Optional[dict] = None,
         spec: Optional[LaunchSpec] = None,
+        kernel_exec: str = "auto",
     ):
         validate_kernel(kernel)
+        if kernel_exec not in ("auto", "compiled", "interp"):
+            raise RuntimeConfigError(
+                "kernel_exec must be 'auto', 'compiled', or 'interp'"
+            )
         if len(kernel.mapped) != 1:
             raise RuntimeConfigError(
                 "the launch front end streams exactly one mapped structure; "
@@ -80,6 +92,11 @@ class KernelApplication(Application):
         self.params_init = dict(params or {})
         self.device_fns = dict(device_fns or {})
         self.spec = spec or LaunchSpec()
+        self.kernel_exec = kernel_exec
+        # lazy caches: False = not yet resolved (None is a valid verdict)
+        self._compiled_main: Any = False
+        self._compiled_ag: Any = False
+        self._affine: Any = False
 
         (self.primary_name,) = kernel.mapped
         self.schema = kernel.mapped[self.primary_name]
@@ -128,7 +145,65 @@ class KernelApplication(Application):
         if "pass_idx" in self.kernel_ir.params:
             state["ctx"].params["pass_idx"] = pass_idx
 
+    # ------------------------------------------------- vectorized backend
+    def _vector_gate(self) -> tuple:
+        return (
+            vector_fn_names(self.device_fns),
+            resident_kinds_of(self.resident_init),
+        )
+
+    def compiled_kernel(self):
+        """The vectorized executor for the original-form kernel, or None
+        when ``kernel_exec`` (or the vectorizability analysis) routes
+        execution to the interpreter. ``kernel_exec="compiled"`` raises
+        :class:`~repro.errors.VectorizationError` on unvectorizable IR."""
+        if self._compiled_main is False:
+            if self.kernel_exec == "interp":
+                self._compiled_main = None
+            else:
+                vfns, rkinds = self._vector_gate()
+                if self.kernel_exec == "compiled":
+                    self._compiled_main = compile_kernel(
+                        self.kernel_ir, vector_fns=vfns, resident_kinds=rkinds
+                    )
+                else:
+                    self._compiled_main = try_compile_kernel(
+                        self.kernel_ir, vector_fns=vfns, resident_kinds=rkinds
+                    )
+        return self._compiled_main
+
+    def _compiled_addrgen(self):
+        """Best-effort vectorized executor for the addr-gen slice."""
+        if self._compiled_ag is False:
+            try:
+                ag_kernel = make_addrgen_kernel(self.kernel_ir)
+            except SlicingError:
+                ag_kernel = None
+            if ag_kernel is None or self.kernel_exec == "interp":
+                self._compiled_ag = None
+            else:
+                vfns, rkinds = self._vector_gate()
+                self._compiled_ag = try_compile_kernel(
+                    ag_kernel, vector_fns=vfns, resident_kinds=rkinds
+                )
+        return self._compiled_ag
+
+    def _affine_streams(self):
+        """Closed-form address streams of the addr-gen slice, if affine."""
+        if self._affine is False:
+            try:
+                ag_kernel = make_addrgen_kernel(self.kernel_ir)
+            except SlicingError:
+                self._affine = None
+            else:
+                self._affine = affine_streams(ag_kernel)
+        return self._affine
+
     def process_chunk(self, data: AppData, state: Any, lo: int, hi: int) -> None:
+        compiled = self.compiled_kernel()
+        if compiled is not None:
+            compiled.run_range(state["ctx"], lo, hi)
+            return
         interp = KernelInterpreter(self.kernel_ir, state["ctx"])
         interp.run_thread(0, lo, hi)
 
@@ -140,10 +215,10 @@ class KernelApplication(Application):
     def outputs_equal(self, a: Any, b: Any) -> bool:
         if isinstance(a, dict) and isinstance(b, dict):
             return set(a) == set(b) and all(
-                np.allclose(a[k], b[k], atol=1e-9) for k in a
+                np.allclose(a[k], b[k], rtol=0, atol=1e-9) for k in a
             )
         if isinstance(a, np.ndarray):
-            return bool(np.allclose(a, b, atol=1e-9))
+            return bool(np.allclose(a, b, rtol=0, atol=1e-9))
         return bool(a == b)
 
     # ---------------------------------------------------- characterization
@@ -174,15 +249,24 @@ class KernelApplication(Application):
             ag_kernel = None
             sliceable = False
 
-        interp = KernelInterpreter(self.kernel_ir, ctx)
-        interp.run_thread(0, 0, n)
-        stats = interp.stats
+        compiled = self.compiled_kernel()
+        if compiled is not None:
+            stats = compiled.run_range(ctx, 0, n).stats
+        else:
+            interp = KernelInterpreter(self.kernel_ir, ctx)
+            interp.run_thread(0, 0, n)
+            stats = interp.stats
 
         if ag_kernel is not None:
-            ag = KernelInterpreter(ag_kernel, ctx)
-            ag.run_thread(0, 0, n)
-            offsets = np.asarray([r.offset for r in ag.read_addresses], dtype=np.int64)
-            sizes = np.asarray([r.nbytes for r in ag.read_addresses], dtype=np.int64)
+            compiled_ag = self._compiled_addrgen()
+            if compiled_ag is not None:
+                records = compiled_ag.run_range(ctx, 0, n).read_records()
+            else:
+                ag = KernelInterpreter(ag_kernel, ctx)
+                ag.run_thread(0, 0, n)
+                records = ag.read_addresses
+            offsets = np.asarray([r.offset for r in records], dtype=np.int64)
+            sizes = np.asarray([r.nbytes for r in records], dtype=np.int64)
             spans = _contiguous_spans(offsets, sizes)
         else:
             spans = max(1, stats.n_mapped_reads // max(n, 1))
@@ -227,6 +311,25 @@ class KernelApplication(Application):
     def access_profile(self, data: AppData) -> AccessProfile:
         return self._measure()
 
+    def _stream_offsets(self, data: AppData, lo: int, hi: int,
+                        is_write: bool) -> Optional[np.ndarray]:
+        """Address stream via the fastest available route: closed-form
+        affine expansion, then the compiled addr-gen slice, then None
+        (caller falls back to the interpreter)."""
+        aff = self._affine_streams()
+        if aff is not None:
+            stream = aff[1] if is_write else aff[0]
+            if stream is not None:
+                return stream.expand(lo, hi)
+        compiled_ag = self._compiled_addrgen()
+        if compiled_ag is not None:
+            ctx = self._make_ctx(data)
+            if "pass_idx" in self.kernel_ir.params:
+                ctx.params["pass_idx"] = 0
+            run = compiled_ag.run_range(ctx, lo, hi)
+            return run.write_offsets() if is_write else run.read_offsets()
+        return None
+
     def chunk_read_offsets(self, data: AppData, lo: int, hi: int) -> np.ndarray:
         """The sliced kernel's own address stream for ``[lo, hi)`` (or a
         whole-range byte walk for unsliceable kernels)."""
@@ -235,6 +338,9 @@ class KernelApplication(Application):
         except SlicingError:
             rec = self.schema.record_size
             return np.arange(lo * rec, hi * rec, dtype=np.int64)
+        fast = self._stream_offsets(data, lo, hi, is_write=False)
+        if fast is not None:
+            return fast
         ctx = self._make_ctx(data)
         if "pass_idx" in self.kernel_ir.params:
             ctx.params["pass_idx"] = 0
@@ -247,6 +353,9 @@ class KernelApplication(Application):
             ag_kernel = make_addrgen_kernel(self.kernel_ir)
         except SlicingError:
             return np.empty(0, dtype=np.int64)
+        fast = self._stream_offsets(data, lo, hi, is_write=True)
+        if fast is not None:
+            return fast
         ctx = self._make_ctx(data)
         if "pass_idx" in self.kernel_ir.params:
             ctx.params["pass_idx"] = 0
@@ -301,9 +410,12 @@ def bigkernel_launch(
     (:mod:`repro.verify`); a :class:`~repro.errors.VerificationError` is
     raised on any divergence.
     """
-    app = KernelApplication(kernel, registry, resident, params, device_fns, spec)
-    eng = engine or BigKernelEngine()
     cfg = config or EngineConfig()
+    app = KernelApplication(
+        kernel, registry, resident, params, device_fns, spec,
+        kernel_exec=cfg.kernel_exec,
+    )
+    eng = engine or BigKernelEngine()
     if not verify:
         return eng.run(app, app.data, cfg)
 

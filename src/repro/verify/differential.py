@@ -288,3 +288,244 @@ def run_fastpath_differential(
                 )
             )
     return report
+
+
+# --------------------------------------------------------------------------
+# compiled-vs-interpreter mode: the vectorized backend against the oracle
+# --------------------------------------------------------------------------
+
+#: absolute tolerance for compiled-vs-interpreter outputs (rtol is 0: the
+#: backend targets bit-identical results, this guards against drift only)
+COMPILED_TOL = 1e-9
+
+_STAT_FIELDS = (
+    "n_ops",
+    "n_calls",
+    "n_mapped_reads",
+    "n_mapped_writes",
+    "n_resident_accesses",
+    "mapped_read_bytes",
+    "mapped_write_bytes",
+)
+
+
+@dataclass
+class CompiledEntry:
+    """One app of the compiled-vs-interpreter sweep."""
+
+    app: str
+    ok: bool
+    compiled: bool
+    #: analysis verdict matched the app's declared ``compiled_expected``
+    expected: bool
+    fallback_reasons: tuple = ()
+    detail: str = ""
+
+
+@dataclass
+class CompiledReport:
+    """Structured outcome of one compiled-vs-interpreter sweep."""
+
+    entries: list[CompiledEntry] = field(default_factory=list)
+    tol: float = COMPILED_TOL
+
+    @property
+    def mismatches(self) -> list[CompiledEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        n_compiled = sum(1 for e in self.entries if e.compiled)
+        lines = [
+            f"compiled vs interpreter: {len(self.entries)} apps "
+            f"({n_compiled} compiled, "
+            f"{len(self.entries) - n_compiled} interpreter-fallback), "
+            f"{len(self.mismatches)} mismatch(es), atol {self.tol:g}"
+        ]
+        for e in self.entries:
+            status = "ok" if e.ok else "MISMATCH"
+            mode = "compiled" if e.compiled else "fallback"
+            line = f"  {e.app:20s} {status} [{mode}]"
+            if e.fallback_reasons:
+                line += f" — {'; '.join(e.fallback_reasons)}"
+            if e.detail:
+                line += f" — {e.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(e.app for e in self.mismatches)
+            raise VerificationError(
+                f"compiled-vs-interpreter mismatch in {named}\n{self.summary()}"
+            )
+
+
+def _clone_app_data(data):
+    """Independent copy of an AppData's mutable arrays (the kernels write
+    mapped fields and resident tables in place)."""
+    import copy as _copy
+
+    clone = _copy.copy(data)
+    clone.mapped = {k: v.copy() for k, v in data.mapped.items()}
+    clone.resident = {
+        k: (v.copy() if isinstance(v, np.ndarray) else _copy.deepcopy(v))
+        for k, v in data.resident.items()
+    }
+    clone.params = dict(data.params)
+    return clone
+
+
+def _outputs_close(app, a, b, tol: float) -> tuple[bool, str]:
+    if isinstance(a, dict) and isinstance(b, dict):
+        if set(a) != set(b):
+            return False, f"output keys {sorted(a)} != {sorted(b)}"
+        bad = [
+            k for k in a if not np.allclose(a[k], b[k], rtol=0, atol=tol)
+        ]
+        if bad:
+            return False, f"output arrays diverge: {bad}"
+        return True, ""
+    if isinstance(a, np.ndarray):
+        if np.allclose(a, b, rtol=0, atol=tol):
+            return True, ""
+        return False, (
+            f"output {describe_output(a)} != {describe_output(b)}"
+        )
+    return (a == b), "" if a == b else f"output {a!r} != {b!r}"
+
+
+def run_compiled_differential(
+    data_bytes: int = 2 * MiB,
+    seed: int = 7,
+    apps: Optional[Iterable] = None,
+    tol: float = COMPILED_TOL,
+) -> CompiledReport:
+    """Run every app's kernel through the interpreter and (where the
+    vectorizability analysis admits it) the compiled NumPy backend, over
+    the same data, and compare outputs, InterpStats counters, and
+    addr-gen address streams.
+
+    The tree-walking interpreter is the trusted oracle; the compiled
+    backend must agree exactly — stats and streams are integer-compared,
+    outputs at ``rtol=0, atol=tol``. Apps the analysis rejects
+    (``compiled_expected = False``: wordcount's and mastercard's
+    loop-carried scanner state) record their fallback reasons and pass if
+    the verdict matches the declaration, so an analysis regression that
+    silently starts rejecting (or admitting) a kernel fails the pillar.
+    """
+    from repro.errors import SlicingError
+    from repro.kernelc.codegen import InterpStats, KernelInterpreter
+    from repro.kernelc.compile import (
+        compile_kernel,
+        resident_kinds_of,
+        vector_fn_names,
+    )
+    from repro.kernelc.analysis import analyze_vectorizable
+    from repro.kernelc.slicing import make_addrgen_kernel
+
+    apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
+    report = CompiledReport(tol=tol)
+    for app in apps:
+        base = app.generate(n_bytes=data_bytes, seed=seed)
+        data_i = _clone_app_data(base)
+        data_c = _clone_app_data(base)
+        kernel = app.kernel()
+        n = app.n_units(base)
+        ctx_i = app.make_ir_context(data_i)
+        ctx_c = app.make_ir_context(data_c)
+        vfns = vector_fn_names(ctx_c.device_fns)
+        rkinds = resident_kinds_of(ctx_c.resident)
+        verdict = analyze_vectorizable(
+            kernel, vector_fns=vfns, resident_kinds=rkinds
+        )
+        expected = verdict.ok == app.compiled_expected
+
+        if not verdict.ok:
+            report.entries.append(
+                CompiledEntry(
+                    app=app.name,
+                    ok=expected,
+                    compiled=False,
+                    expected=expected,
+                    fallback_reasons=verdict.reasons,
+                    detail=""
+                    if expected
+                    else "analysis rejected a kernel declared compilable",
+                )
+            )
+            continue
+
+        problems: list[str] = []
+        if not expected:
+            problems.append("analysis admitted a kernel declared fallback")
+
+        interp = KernelInterpreter(kernel, ctx_i)
+        compiled = compile_kernel(
+            kernel, vector_fns=vfns, resident_kinds=rkinds
+        )
+        cstats = InterpStats()
+        for p in range(app.n_passes):
+            if "pass_idx" in kernel.params:
+                ctx_i.params["pass_idx"] = p
+                ctx_c.params["pass_idx"] = p
+            interp.run_thread(0, 0, n)
+            run = compiled.run_range(ctx_c, 0, n)
+            for f in _STAT_FIELDS:
+                setattr(cstats, f, getattr(cstats, f) + getattr(run.stats, f))
+
+        ok_out, detail = _outputs_close(
+            app, app.ir_output(data_i, ctx_i), app.ir_output(data_c, ctx_c),
+            tol,
+        )
+        if not ok_out:
+            problems.append(detail)
+        for f in _STAT_FIELDS:
+            a, b = getattr(interp.stats, f), getattr(cstats, f)
+            if a != b:
+                problems.append(f"stats.{f} {a} != {b}")
+
+        try:
+            ag_kernel = make_addrgen_kernel(kernel)
+        except SlicingError:
+            ag_kernel = None
+        if ag_kernel is not None:
+            ag_verdict = analyze_vectorizable(
+                ag_kernel, vector_fns=vfns, resident_kinds=rkinds
+            )
+            if ag_verdict.ok:
+                ctx_ai = app.make_ir_context(_clone_app_data(base))
+                ctx_ac = app.make_ir_context(_clone_app_data(base))
+                if "pass_idx" in ag_kernel.params:
+                    ctx_ai.params["pass_idx"] = 0
+                    ctx_ac.params["pass_idx"] = 0
+                ag_i = KernelInterpreter(ag_kernel, ctx_ai)
+                ag_i.run_thread(0, 0, n)
+                ag_c = compile_kernel(
+                    ag_kernel, vector_fns=vfns, resident_kinds=rkinds
+                )
+                run = ag_c.run_range(ctx_ac, 0, n)
+                r_i = np.asarray(
+                    [r.offset for r in ag_i.read_addresses], dtype=np.int64
+                )
+                w_i = np.asarray(
+                    [r.offset for r in ag_i.write_addresses], dtype=np.int64
+                )
+                if not np.array_equal(run.read_offsets(), r_i):
+                    problems.append("read address stream diverged")
+                if not np.array_equal(run.write_offsets(), w_i):
+                    problems.append("write address stream diverged")
+
+        report.entries.append(
+            CompiledEntry(
+                app=app.name,
+                ok=not problems,
+                compiled=True,
+                expected=expected,
+                detail="; ".join(problems),
+            )
+        )
+    return report

@@ -85,6 +85,8 @@ class FuzzReport:
     seed: int = 0
     ir_cases: int = 0
     ir_sliced: int = 0
+    #: IR cases the vectorized backend admitted (and matched exactly)
+    ir_compiled: int = 0
     pipeline_cases: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
 
@@ -95,7 +97,8 @@ class FuzzReport:
     def summary(self) -> str:
         lines = [
             f"fuzz seed={self.seed}: {self.ir_cases} IR case(s) "
-            f"({self.ir_sliced} sliced), {self.pipeline_cases} pipeline "
+            f"({self.ir_sliced} sliced, {self.ir_compiled} compiled), "
+            f"{self.pipeline_cases} pipeline "
             f"case(s), {len(self.failures)} failure(s)"
         ]
         lines += [f"  {f}" for f in self.failures[:10]]
@@ -283,6 +286,65 @@ def check_kernel_roundtrip(kernel: Kernel, data_seed: int) -> bool:
     return sliced
 
 
+def check_kernel_compiled(kernel: Kernel, data_seed: int) -> bool:
+    """Interpreter == vectorized backend (when the analysis admits it).
+
+    Returns True when the kernel compiled, False for the documented
+    interpreter fallback; raises :class:`VerificationError` on any
+    divergence in outputs, InterpStats counters, or addr-gen streams.
+    """
+    from repro.kernelc.compile import compile_kernel, try_compile_kernel
+
+    ctx_i = _make_ctx(data_seed)
+    ctx_c = _make_ctx(data_seed)
+    compiled = try_compile_kernel(
+        kernel, resident_kinds={"acc": "f"}
+    )
+    if compiled is None:
+        return False
+
+    interp = KernelInterpreter(kernel, ctx_i)
+    interp.run_thread(0, 0, N_RECORDS)
+    run = compiled.run_range(ctx_c, 0, N_RECORDS)
+
+    for f in (
+        "n_ops", "n_calls", "n_mapped_reads", "n_mapped_writes",
+        "n_resident_accesses", "mapped_read_bytes", "mapped_write_bytes",
+    ):
+        a, b = getattr(interp.stats, f), getattr(run.stats, f)
+        if a != b:
+            raise VerificationError(f"compiled stats.{f} {b} != interp {a}")
+    if not np.allclose(
+        ctx_i.resident["acc"], ctx_c.resident["acc"], rtol=0, atol=1e-9
+    ):
+        raise VerificationError(
+            f"compiled resident state diverged: {ctx_c.resident['acc']} vs "
+            f"{ctx_i.resident['acc']}"
+        )
+    if not np.array_equal(
+        ctx_i.mapped["arr"].view(np.uint8), ctx_c.mapped["arr"].view(np.uint8)
+    ):
+        raise VerificationError("compiled mapped array bytes diverged")
+
+    try:
+        addrgen = make_addrgen_kernel(kernel)
+    except SlicingError:
+        return True
+    ag_compiled = try_compile_kernel(addrgen, resident_kinds={"acc": "f"})
+    if ag_compiled is None:
+        return True
+    ag = KernelInterpreter(addrgen, _make_ctx(data_seed))
+    ag.run_thread(0, 0, N_RECORDS)
+    ag_run = ag_compiled.run_range(_make_ctx(data_seed), 0, N_RECORDS)
+    r_i = np.asarray([r.offset for r in ag.read_addresses], dtype=np.int64)
+    w_i = np.asarray([r.offset for r in ag.write_addresses], dtype=np.int64)
+    if not np.array_equal(ag_run.read_offsets(), r_i):
+        raise VerificationError("compiled read address stream diverged")
+    if not np.array_equal(ag_run.write_offsets(), w_i):
+        raise VerificationError("compiled write address stream diverged")
+    return True
+
+
 # ---------------------------------------------------------------------------
 # random pipeline schedules
 # ---------------------------------------------------------------------------
@@ -354,6 +416,8 @@ def run_fuzz(
             kernel = random_kernel(rng)
             if check_kernel_roundtrip(kernel, data_seed=seed + case):
                 report.ir_sliced += 1
+            if check_kernel_compiled(kernel, data_seed=seed + case):
+                report.ir_compiled += 1
         except VerificationError as exc:
             report.failures.append(
                 FuzzFailure(

@@ -8,6 +8,10 @@ in one pass/fail sweep.
 4. **Fastpath suite** (``--fastpath``) — every (app, engine) cell run with
    the analytic steady-state pipeline vs with the DES forced; totals must
    agree within 1e-9 (see ``docs/performance.md``).
+5. **Compiled suite** (``--compiled``) — every app's kernel run through the
+   vectorized NumPy backend vs the tree-walking interpreter: outputs at
+   1e-9 (rtol 0), InterpStats counters and addr-gen address streams exact,
+   and analysis verdicts matching each app's declared expectation.
 
 ``--quick`` shrinks the datasets and iteration counts to CI scale.
 """
@@ -22,8 +26,10 @@ from repro.engines import BigKernelEngine, EngineConfig
 from repro.runtime.pipeline import run_pipeline_per_block
 from repro.units import MiB
 from repro.verify.differential import (
+    CompiledReport,
     DifferentialReport,
     FastpathReport,
+    run_compiled_differential,
     run_differential,
     run_fastpath_differential,
 )
@@ -43,6 +49,7 @@ class VerifySummary:
     differential: Optional[DifferentialReport] = None
     fuzz: Optional[FuzzReport] = None
     fastpath: Optional[FastpathReport] = None
+    compiled: Optional[CompiledReport] = None
 
     @property
     def ok(self) -> bool:
@@ -51,6 +58,7 @@ class VerifySummary:
             and (self.differential is None or self.differential.ok)
             and (self.fuzz is None or self.fuzz.ok)
             and (self.fastpath is None or self.fastpath.ok)
+            and (self.compiled is None or self.compiled.ok)
         )
 
     def summary(self) -> str:
@@ -71,6 +79,8 @@ class VerifySummary:
             lines.append(self.fuzz.summary())
         if self.fastpath is not None:
             lines.append(self.fastpath.summary())
+        if self.compiled is not None:
+            lines.append(self.compiled.summary())
         lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -81,13 +91,15 @@ def run_verify(
     data_bytes: Optional[int] = None,
     fuzz_iterations: Optional[int] = None,
     fastpath: bool = False,
+    compiled: bool = False,
     emit: Callable[[str], None] = print,
 ) -> VerifySummary:
     """Run the full verification sweep; ``emit`` narrates progress.
 
     ``fastpath=True`` appends the fastpath-vs-des differential: the full
     app x engine matrix with the analytic pipeline allowed vs DES forced,
-    asserting the totals agree within 1e-9.
+    asserting the totals agree within 1e-9. ``compiled=True`` appends the
+    compiled-vs-interpreter differential over every app's kernel.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
@@ -95,7 +107,7 @@ def run_verify(
     # the invariant checkers consume full timelines, which the analytic
     # fast path deliberately skips: pin the DES for pillar 1
     traced_config = config.with_(fastpath=False)
-    n_pillars = 4 if fastpath else 3
+    n_pillars = 3 + (1 if fastpath else 0) + (1 if compiled else 0)
     summary = VerifySummary()
 
     emit(
@@ -134,6 +146,15 @@ def run_verify(
         )
         summary.fastpath = run_fastpath_differential(
             data_bytes=data_bytes, seed=seed, config=config
+        )
+
+    if compiled:
+        emit(
+            f"[{n_pillars}/{n_pillars}] compiled suite: vectorized backend "
+            f"vs interpreter over {len(ALL_APPS)} apps"
+        )
+        summary.compiled = run_compiled_differential(
+            data_bytes=data_bytes, seed=seed
         )
     return summary
 

@@ -267,3 +267,67 @@ class TestDiskCacheAcrossProcesses:
         disk_reads = cache.disk.hits
         assert fresh.get(key, disk_key) is not None
         assert cache.disk.hits == disk_reads  # served from memory
+
+
+class TestAutoBackendHeuristic:
+    """backend="auto" must not pick processes where they cannot win:
+    1-2 core boxes and tiny grids (BENCH_pipeline.json once recorded the
+    process backend at 0.35x on a 1-core runner)."""
+
+    def _sweep_resolve(self, monkeypatch, cores, **kwargs):
+        from repro.bench.sweep import _resolve_backend
+
+        monkeypatch.setattr(os, "cpu_count", lambda: cores)
+        app = get_app("kmeans")
+        data = app.generate(n_bytes=1 * MiB, seed=3)
+        defaults = dict(
+            backend="auto",
+            engine=BigKernelEngine(),
+            app=app,
+            data=data,
+            config=EngineConfig(fastpath=False),  # DES-bound
+            jobs=4,
+            n_points=8,
+        )
+        defaults.update(kwargs)
+        return _resolve_backend(**defaults)
+
+    def test_sweep_auto_prefers_process_when_parallel_pays(self, monkeypatch):
+        assert self._sweep_resolve(monkeypatch, cores=8) == "process"
+
+    @pytest.mark.parametrize("cores", [1, 2])
+    def test_sweep_auto_prefers_thread_on_small_boxes(self, monkeypatch, cores):
+        assert self._sweep_resolve(monkeypatch, cores=cores) == "thread"
+
+    def test_sweep_auto_prefers_thread_on_tiny_grids(self, monkeypatch):
+        assert self._sweep_resolve(monkeypatch, cores=8, n_points=2) == "thread"
+
+    def test_sweep_explicit_process_honored_on_small_boxes(self, monkeypatch):
+        assert (
+            self._sweep_resolve(monkeypatch, cores=1, backend="process")
+            == "process"
+        )
+
+    def _chaos_resolve(self, monkeypatch, cores, backend="auto", n_apps=2):
+        from repro.faults.chaos import _resolve_backend
+
+        monkeypatch.setattr(os, "cpu_count", lambda: cores)
+        apps = [get_app("kmeans"), get_app("wordcount")][:n_apps]
+        engines = [BigKernelEngine(), GpuDoubleBufferEngine()]
+        return _resolve_backend(backend, jobs=4, apps=apps, engines=engines)
+
+    def test_chaos_auto_prefers_process_when_parallel_pays(self, monkeypatch):
+        assert self._chaos_resolve(monkeypatch, cores=8) == "process"
+
+    @pytest.mark.parametrize("cores", [1, 2])
+    def test_chaos_auto_prefers_thread_on_small_boxes(self, monkeypatch, cores):
+        assert self._chaos_resolve(monkeypatch, cores=cores) == "thread"
+
+    def test_chaos_auto_prefers_thread_on_tiny_grids(self, monkeypatch):
+        assert self._chaos_resolve(monkeypatch, cores=8, n_apps=1) == "thread"
+
+    def test_chaos_explicit_process_honored_on_small_boxes(self, monkeypatch):
+        assert (
+            self._chaos_resolve(monkeypatch, cores=2, backend="process")
+            == "process"
+        )
