@@ -27,6 +27,7 @@ from repro.bench.sweep import (
     RUN_CACHE,
     DEFAULT_GRID,
 )
+from repro.bench.uvm import UvmComparison, run_uvm_comparison
 from repro.bench import paper_data
 
 __all__ = [
@@ -49,5 +50,7 @@ __all__ = [
     "RunCache",
     "RUN_CACHE",
     "DEFAULT_GRID",
+    "UvmComparison",
+    "run_uvm_comparison",
     "paper_data",
 ]

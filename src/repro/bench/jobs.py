@@ -83,10 +83,17 @@ def dataset_spec(app: Application, data: AppData) -> Optional[DatasetSpec]:
 
 def engine_to_spec(engine: Engine) -> Optional[EngineSpec]:
     """Identity of a stock engine, or None for custom engine types."""
-    from repro.engines import ALL_ENGINES, BigKernelEngine
+    from repro.engines import ALL_ENGINES, UVM_ENGINES, BigKernelEngine
+    from repro.engines.uvm import UvmSpec
 
     if type(engine) is BigKernelEngine:
         return EngineSpec(name=engine.name, variant=engine.features.label)
+    if type(engine) in UVM_ENGINES:
+        # only the stock paging model is replayable by name; a custom
+        # UvmSpec has no registry recipe a worker could rebuild
+        if engine.spec != UvmSpec():
+            return None
+        return EngineSpec(name=engine.name, variant=engine.prefetch or "")
     if type(engine) in ALL_ENGINES:
         return EngineSpec(name=engine.name)
     return None
@@ -108,6 +115,11 @@ def engine_from_spec(spec: EngineSpec) -> Engine:
         if features is None:
             raise ReproError(f"unknown BigKernel variant {spec.variant!r}")
         return BigKernelEngine(features=features())
+    from repro.engines import UVM_ENGINES
+
+    for cls in UVM_ENGINES:
+        if cls.name == spec.name:
+            return cls(prefetch=spec.variant or None)
     for cls in ALL_ENGINES:
         if cls.name == spec.name:
             return cls()

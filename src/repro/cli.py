@@ -16,6 +16,9 @@ Commands mirror the library's surfaces:
   (see ``docs/faults.md``); ``--jobs``/``--backend`` parallelize the
   blocks without changing the fingerprint; exits nonzero on any failing
   cell;
+* ``bench`` — competitor comparison: BigKernel vs the unified-memory
+  engine family (plain / readahead / learned prefetch) on the paper's six
+  apps (see ``docs/engines.md``);
 * ``sweep`` — autotune one engine/app pair over the default grid, with
   ``--jobs``/``--backend`` for parallel evaluation and a persistent run
   cache (see ``docs/performance.md``).
@@ -76,13 +79,19 @@ def cmd_apps(args) -> int:
 def cmd_run(args) -> int:
     from repro.apps import get_app
     from repro.bench.report import render_table
-    from repro.engines import ALL_ENGINES
+    from repro.engines import ALL_ENGINES, UVM_ENGINES
 
     app = get_app(args.app)
     data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
     settings = _settings(args)
     engines = [cls() for cls in ALL_ENGINES]
-    if args.engine != "all":
+    if args.engine in {cls.name for cls in UVM_ENGINES}:
+        # the UVM family stays out of the default five-scheme table but is
+        # runnable by name, next to the serial baseline for a speedup ref
+        engines = [engines[0]] + [
+            cls() for cls in UVM_ENGINES if cls.name == args.engine
+        ]
+    elif args.engine != "all":
         engines = [e for e in engines if e.name == args.engine]
         if not engines:
             print(f"unknown engine {args.engine!r}", file=sys.stderr)
@@ -194,16 +203,39 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_bench(args) -> int:
+    from repro.bench.uvm import run_uvm_comparison
+
+    comparison = run_uvm_comparison(
+        data_bytes=args.data_mib * MiB,
+        seed=args.seed,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    print(comparison.summary())
+    wins = sum(
+        1
+        for app in comparison.apps
+        if comparison.sim_time(app, "bigkernel")
+        < comparison.sim_time(app, comparison.best_uvm(app))
+    )
+    print(
+        f"bigkernel beats the best unified-memory variant on "
+        f"{wins}/{len(comparison.apps)} apps"
+    )
+    return 0
+
+
 def cmd_sweep(args) -> int:
     from repro.apps import get_app
     from repro.bench.report import render_table
     from repro.bench.sweep import DEFAULT_GRID, autotune
-    from repro.engines import ALL_ENGINES
+    from repro.engines import ALL_ENGINES, UVM_ENGINES
 
     app = get_app(args.app)
     data = app.generate(n_bytes=args.data_mib * MiB, seed=args.seed)
     engine = None
-    for cls in ALL_ENGINES:
+    for cls in ALL_ENGINES + UVM_ENGINES:
         e = cls()
         if e.name == args.engine:
             engine = e
@@ -308,6 +340,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="executor for --jobs > 1 (auto picks process: "
                           "faulted runs are DES-bound)")
 
+    p_b = sub.add_parser(
+        "bench",
+        help="competitor comparison: BigKernel vs the unified-memory engine "
+             "family on the paper's six apps (see docs/engines.md)",
+    )
+    p_b.add_argument("--engine", default="uvm", choices=["uvm"],
+                     help="competitor family to compare against "
+                          "(currently only 'uvm')")
+    p_b.add_argument("--data-mib", type=int, default=4,
+                     help="dataset size (MiB)")
+    p_b.add_argument("--seed", type=int, default=4, help="data generator seed")
+    p_b.add_argument("--jobs", type=int, default=1,
+                     help="parallel (app, engine) cells")
+    p_b.add_argument("--backend", default="auto",
+                     choices=["auto", "thread", "process"],
+                     help="executor for --jobs > 1 (UVM runs are DES-bound, "
+                          "so auto picks process)")
+
     p_sw = sub.add_parser(
         "sweep", help="autotune one engine/app pair over the default grid"
     )
@@ -342,6 +392,7 @@ def main(argv=None) -> int:
         "trace": cmd_trace,
         "verify": cmd_verify,
         "chaos": cmd_chaos,
+        "bench": cmd_bench,
         "sweep": cmd_sweep,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,

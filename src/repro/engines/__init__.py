@@ -23,6 +23,12 @@ from repro.engines.cpu_mt import CpuMtEngine
 from repro.engines.gpu_single import GpuSingleBufferEngine
 from repro.engines.gpu_double import GpuDoubleBufferEngine
 from repro.engines.bigkernel import BigKernelEngine, BigKernelFeatures
+from repro.engines.uvm import (
+    GpuUvmEngine,
+    UvmLearnedEngine,
+    UvmReadaheadEngine,
+    UvmSpec,
+)
 
 ALL_ENGINES = (
     CpuSerialEngine,
@@ -30,6 +36,16 @@ ALL_ENGINES = (
     GpuSingleBufferEngine,
     GpuDoubleBufferEngine,
     BigKernelEngine,
+)
+
+#: the unified-memory competitor family (kept out of ALL_ENGINES so the
+#: paper's five-scheme matrices — calibration pins, figure harnesses —
+#: stay exactly as published; the UVM comparison has its own harness in
+#: ``repro.bench.uvm``)
+UVM_ENGINES = (
+    GpuUvmEngine,
+    UvmReadaheadEngine,
+    UvmLearnedEngine,
 )
 
 __all__ = [
@@ -43,5 +59,10 @@ __all__ = [
     "GpuDoubleBufferEngine",
     "BigKernelEngine",
     "BigKernelFeatures",
+    "GpuUvmEngine",
+    "UvmReadaheadEngine",
+    "UvmLearnedEngine",
+    "UvmSpec",
     "ALL_ENGINES",
+    "UVM_ENGINES",
 ]

@@ -51,11 +51,20 @@ class EngineConfig:
     #: forces the tree-walking interpreter, "auto" compiles when the
     #: vectorizability analysis admits the kernel and falls back otherwise
     kernel_exec: str = "auto"
+    #: prefetcher of the unified-memory engines (``repro.engines.uvm``):
+    #: "none" keeps the driver's partial readahead only, "readahead" adds
+    #: the adaptive sequential window, "learned" the pattern-descriptor
+    #: prefetcher; ignored by the non-UVM engines
+    prefetch: str = "none"
 
     def __post_init__(self):
         if self.kernel_exec not in ("auto", "compiled", "interp"):
             raise RuntimeConfigError(
                 "kernel_exec must be 'auto', 'compiled', or 'interp'"
+            )
+        if self.prefetch not in ("none", "readahead", "learned"):
+            raise RuntimeConfigError(
+                "prefetch must be 'none', 'readahead', or 'learned'"
             )
         if self.chunk_bytes < 1024:
             raise RuntimeConfigError("chunk_bytes must be at least 1 KiB")

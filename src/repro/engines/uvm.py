@@ -1,0 +1,411 @@
+"""Unified-virtual-memory competitor engines (fault-driven demand paging).
+
+BigKernel (2014) predates usable on-demand page migration; CUDA Unified
+Memory later delivered the same *programmability* (no chunking, no
+staging buffers, one launch over arbitrarily large data) directly in the
+driver. These engines model that executor as a page-fault-driven
+simulation under the DES so it can stand next to the pipelined schemes
+in the comparison figures:
+
+* ``gpu_uvm`` — demand paging with the driver's partial sequential
+  readahead. Execution walks the mapped range in batches of pages; a
+  batch with non-resident pages raises one *grouped* page fault (the
+  faulting warps stall for a single driver round trip, amortized across
+  the batch), the missing pages migrate over PCIe at pinned-DMA speed,
+  and an LRU policy evicts under the modeled device-memory capacity,
+  writing dirty pages back.
+* ``uvm_readahead`` — a sequential readahead prefetcher with an adaptive
+  window (grows on hit, halves on miss) issuing ahead-of-fault
+  full-batch migrations, after "A readahead prefetcher for GPU file
+  system layer" (PAPERS.md).
+* ``uvm_learned`` — a pattern prefetcher that consumes the repo's
+  ``AffineStream``/``StridePattern`` descriptors to justify a deep fixed
+  window that survives pass boundaries, after "Deep Learning based Data
+  Prefetching in CPU-GPU Unified Virtual Memory" (PAPERS.md).
+
+All three run under the DES and emit standard trace intervals
+(``data_transfer`` / ``compute`` / ``write_transfer``), so the invariant
+checkers and the differential oracle apply unchanged, and PCIe fault
+plans (``pcie.degrade``, ``dma.error``) act on the migration DMAs
+exactly as they do on the pipelined engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
+from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
+from repro.errors import RuntimeConfigError, SlicingError
+from repro.faults.inject import as_injector
+from repro.hw.gpu import GpuDevice
+from repro.hw.paging import PageTable
+from repro.hw.pcie import D2H, H2D, DmaEngine, PcieLink
+from repro.runtime.pipeline import (
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    STAGE_WRITEBACK_XFER,
+)
+from repro.sim.core import Environment
+from repro.sim.trace import TraceRecorder
+from repro.units import KiB, US
+
+PREFETCH_MODES = ("none", "readahead", "learned")
+
+#: trace label of the un-hidable fault-service stall (cpu track)
+FAULT_SERVICE = "fault_service"
+
+
+@dataclass(frozen=True)
+class UvmSpec:
+    """Driver parameters of the modelled unified-memory implementation."""
+
+    #: migration granularity (basic UVM page)
+    page_bytes: int = 64 * KiB
+    #: CPU-side service cost of one grouped fault (handler + mapping
+    #: update + PCIe round trip); batching faults amortizes this over the
+    #: whole batch rather than paying it per page
+    fault_latency: float = 25 * US
+    #: fraction of a faulting batch's *successor* the driver's partial
+    #: sequential readahead queues ahead of the faulting thread (the
+    #: ``prefetch="none"`` baseline still has this, like real UVM)
+    prefetch_hit: float = 0.65
+    #: fraction of the fault-service stall that computation on
+    #: already-resident pages covers
+    overlap: float = 0.2
+    #: pages per fault group (the driver's fault batch)
+    batch_pages: int = 16
+    #: modeled device-memory capacity; None sizes it at 75% of the mapped
+    #: range (multi-pass apps re-fault, single-pass apps mostly fit),
+    #: always clamped to the GPU's physical memory
+    device_mem_bytes: Optional[int] = None
+    #: readahead window ceiling, in batches
+    max_window: int = 32
+
+    def __post_init__(self):
+        if self.page_bytes < 4096:
+            raise RuntimeConfigError("page_bytes must be >= 4096")
+        if self.fault_latency < 0:
+            raise RuntimeConfigError("fault_latency must be non-negative")
+        if not 0.0 <= self.prefetch_hit <= 1.0:
+            raise RuntimeConfigError("prefetch_hit must be in [0, 1]")
+        if not 0.0 <= self.overlap <= 1.0:
+            raise RuntimeConfigError("overlap must be in [0, 1]")
+        if self.batch_pages < 1:
+            raise RuntimeConfigError("batch_pages must be >= 1")
+        if self.max_window < 1:
+            raise RuntimeConfigError("max_window must be >= 1")
+        if (
+            self.device_mem_bytes is not None
+            and self.device_mem_bytes < self.page_bytes
+        ):
+            raise RuntimeConfigError(
+                "device_mem_bytes must hold at least one page"
+            )
+
+
+class _UvmSimulation:
+    """One DES run of the paged executor (state shared by the stages)."""
+
+    def __init__(
+        self,
+        spec: UvmSpec,
+        mode: str,
+        app: Application,
+        data: AppData,
+        config: EngineConfig,
+    ):
+        self.spec = spec
+        self.mode = mode
+        hw = config.hardware
+        self.profile = app.access_profile(data)
+        self.totals = Engine.totals(app, data, self.profile)
+        self.gpu = GpuDevice(hw.gpu)
+        self.units = self.totals["units"]
+        self.threads = config.total_compute_threads
+        self.passes = self.profile.passes
+        self.writes = self.totals["write_bytes"] > 0
+
+        # page-granular migration: any read inside a page moves the whole
+        # page, so the paged range is the entire mapped dataset
+        total_bytes = int(self.totals["data_bytes"])
+        n_pages = -(-total_bytes // spec.page_bytes)
+        self.batch_pages = min(spec.batch_pages, n_pages)
+        if spec.device_mem_bytes is not None:
+            capacity = spec.device_mem_bytes // spec.page_bytes
+        else:
+            capacity = max(int(0.75 * n_pages), 3 * self.batch_pages)
+        capacity = min(
+            capacity, max(self.batch_pages, hw.gpu.global_mem_bytes // spec.page_bytes)
+        )
+        # the current batch is pinned during compute, so it must always fit
+        capacity = max(capacity, self.batch_pages)
+        self.table = PageTable(total_bytes, spec.page_bytes, capacity)
+        self.capacity_batches = capacity // self.batch_pages
+
+        self.n_batches = -(-n_pages // self.batch_pages)
+        self.batches = [
+            list(range(b * self.batch_pages, min((b + 1) * self.batch_pages, n_pages)))
+            for b in range(self.n_batches)
+        ]
+        self.n_instances = self.passes * self.n_batches
+        # per-batch compute time on the original (uncoalesced) layout;
+        # stage_time is linear in units, so these sum to the closed-form
+        # per-pass total
+        self.comp_times = []
+        for batch in self.batches:
+            span = sum(self.table.page_size(p) for p in batch)
+            cost = kernel_chunk_cost(
+                self.profile, self.units * span / total_bytes, coalesced=False
+            )
+            self.comp_times.append(self.gpu.stage_time(cost, self.threads))
+
+        self.env = Environment()
+        self.trace = TraceRecorder()
+        self.injector = as_injector(config.faults)
+        self.link = PcieLink(self.env, hw.pcie, trace=self.trace, faults=self.injector)
+        self.dma = DmaEngine(self.link)
+        #: page -> migration process currently carrying it
+        self.inflight: dict = {}
+        self.wb_events: list = []
+        self.window = 1
+        self.fault_events = 0
+        self.fault_stall = 0.0
+        self.comp_time = 0.0
+        self.learned_source = (
+            self._derive_learned_source(app, data) if mode == "learned" else None
+        )
+
+    # -------------------------------------------------------------- run
+    def execute(self) -> float:
+        self.env.process(self._main())
+        self.env.run()
+        return self.env.now
+
+    def _main(self):
+        # UVM keeps BigKernel's single-launch model: one kernel over the
+        # whole dataset, paying the launch overhead exactly once
+        yield self.env.timeout(self.gpu.spec.kernel_launch_overhead)
+        self.comp_time += self.gpu.spec.kernel_launch_overhead
+        for g in range(self.n_instances):
+            pages = self.batches[g % self.n_batches]
+            self.table.pin(pages)
+            missing = self.table.missing(pages)
+            if missing:
+                self.fault_events += 1
+                stall = self.spec.fault_latency * (1.0 - self.spec.overlap)
+                start = self.env.now
+                yield self.env.timeout(stall)
+                self.fault_stall += self.env.now - start
+                self.trace.record(
+                    "cpu", FAULT_SERVICE, start, self.env.now,
+                    chunk=g, pages=len(missing),
+                )
+                self._issue(g, missing, "demand", must=True)
+                if self.mode == "readahead":
+                    self.window = max(1, self.window // 2)
+            elif self.mode == "readahead":
+                self.window = min(self.window + 1, self.spec.max_window)
+            self._issue_prefetches(g)
+            waits = [self.inflight[p] for p in pages if p in self.inflight]
+            if waits:
+                yield self.env.all_of(waits)
+            start = self.env.now
+            yield self.env.timeout(self.comp_times[g % self.n_batches])
+            self.comp_time += self.env.now - start
+            self.trace.record("gpu", STAGE_COMPUTE, start, self.env.now, chunk=g)
+            self.table.touch(pages, dirty=self.writes)
+            if self.writes and g // self.n_batches == self.passes - 1:
+                # eager asynchronous write-back right after the final pass
+                # over this batch; only the tail remains at the barrier
+                self._flush(self.table.take_dirty(pages))
+            self.table.unpin(pages)
+        if self.wb_events:
+            yield self.env.all_of(self.wb_events)
+
+    # -------------------------------------------------------- migrations
+    def _issue(self, g: int, pages: list[int], kind: str, must: bool) -> bool:
+        victims = self.table.admit(pages, must=must, kind=kind)
+        if victims is None:
+            return False
+        self._flush([p for p, _, dirty in victims if dirty])
+        proc = self.env.process(self._migrate(g, pages, kind))
+        for p in pages:
+            self.inflight[p] = proc
+        return True
+
+    def _migrate(self, g: int, pages: list[int], kind: str):
+        events = [
+            self.dma.copy_async(
+                nbytes, direction=H2D, pinned=True,
+                label=STAGE_TRANSFER, chunk=g, kind=kind, pages=count,
+            )
+            for _, count, nbytes in self.table.page_runs(pages)
+        ]
+        yield self.env.all_of(events)
+        self.table.complete(pages)
+        for p in pages:
+            self.inflight.pop(p, None)
+
+    def _flush(self, pages: list[int]) -> None:
+        """Asynchronous dirty-page write-back (evictions and completion);
+        no ``chunk`` meta — write-back is not a forward pipeline stage."""
+        for _, count, nbytes in self.table.page_runs(pages):
+            self.wb_events.append(
+                self.dma.copy_async(
+                    nbytes, direction=D2H, pinned=True,
+                    label=STAGE_WRITEBACK_XFER, pages=count,
+                )
+            )
+
+    # -------------------------------------------------------- prefetchers
+    def _issue_prefetches(self, g: int) -> None:
+        if self.mode == "none":
+            # the driver's partial readahead: a slice of the *next* batch
+            # rides along, sized by the hit fraction
+            k = int(self.spec.prefetch_hit * self.batch_pages + 0.5)
+            nxt = g + 1
+            if (
+                k > 0
+                and nxt < self.n_instances
+                and nxt // self.n_batches == g // self.n_batches
+            ):
+                want = self.table.missing(self.batches[nxt % self.n_batches])[:k]
+                if want:
+                    self._issue(nxt, want, "prefetch", must=False)
+            return
+        if self.mode == "readahead":
+            window, cross = self.window, False
+        else:  # learned
+            window = self.spec.max_window
+            # a recognized descriptor predicts the wrap back to the start,
+            # so the window survives pass boundaries
+            cross = self.learned_source in ("affine", "stride")
+        # leave two batches of slack so demand admission stays feasible
+        window = min(window, max(1, self.capacity_batches - 2))
+        for d in range(1, window + 1):
+            nxt = g + d
+            if nxt >= self.n_instances:
+                break
+            if not cross and nxt // self.n_batches != g // self.n_batches:
+                break
+            want = self.table.missing(self.batches[nxt % self.n_batches])
+            if want and not self._issue(nxt, want, "prefetch", must=False):
+                break
+
+    def _derive_learned_source(self, app: Application, data: AppData) -> str:
+        """What evidence the pattern prefetcher trains on: a closed-form
+        affine address stream when the kernel slices to one, an online
+        stride recognition of the first chunk's reads otherwise, or plain
+        access history (degrading to a same-pass window)."""
+        from repro.kernelc.compile import affine_streams
+        from repro.kernelc.slicing import make_addrgen_kernel
+        from repro.runtime.pattern import PatternRecognizer
+
+        kernel = app.kernel()
+        if kernel is not None:
+            try:
+                streams = affine_streams(make_addrgen_kernel(kernel))
+            except SlicingError:
+                streams = None
+            if streams is not None and streams[0] is not None:
+                if streams[0].rec_stride > 0:
+                    return "affine"
+        offsets = app.chunk_read_offsets(data, 0, min(self.units, 64))
+        pattern = PatternRecognizer().recognize([int(o) for o in offsets])
+        if pattern is not None and pattern.cycle_span > 0:
+            return "stride"
+        return "history"
+
+
+class GpuUvmEngine(Engine):
+    """Fault-driven unified-memory execution (no explicit transfers)."""
+
+    name = "gpu_uvm"
+    display_name = "GPU Unified Memory"
+    #: subclass hook: prefetch mode baked into the engine identity;
+    #: None defers to ``EngineConfig.prefetch``
+    default_prefetch: Optional[str] = None
+
+    def __init__(
+        self, spec: UvmSpec = UvmSpec(), prefetch: Optional[str] = None
+    ):
+        if prefetch is not None and prefetch not in PREFETCH_MODES:
+            raise RuntimeConfigError(
+                f"prefetch must be one of {PREFETCH_MODES}, got {prefetch!r}"
+            )
+        self.spec = spec
+        self.prefetch = prefetch if prefetch is not None else self.default_prefetch
+
+    @property
+    def cache_key(self) -> str:
+        return f"{self.name}[{self.prefetch or 'config'};{self.spec!r}]"
+
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        mode = self.prefetch if self.prefetch is not None else config.prefetch
+        if mode not in PREFETCH_MODES:
+            raise RuntimeConfigError(
+                f"prefetch must be one of {PREFETCH_MODES}, got {mode!r}"
+            )
+        sim = _UvmSimulation(self.spec, mode, app, data, config)
+        sim_time = sim.execute()
+
+        output = None
+        if config.functional:
+            upc, _ = chunk_plan(
+                sim.units, config.chunk_bytes, sim.profile.record_bytes
+            )
+            output = self._functional_output(app, data, app.chunk_bounds(data, upc))
+
+        notes = {
+            "pages": sim.table.n_pages,
+            "page_bytes": self.spec.page_bytes,
+            "prefetch": mode,
+            "batch_pages": sim.batch_pages,
+            "capacity_pages": sim.table.capacity_pages,
+            "faults": sim.fault_events,
+            "fault_stall": sim.fault_stall,
+            "paging": sim.table.stats(),
+        }
+        if mode == "learned":
+            notes["prefetch_source"] = sim.learned_source
+        if sim.injector is not None:
+            notes["fault_stats"] = sim.injector.stats()
+        metrics = RunMetrics(
+            n_chunks=sim.n_instances,
+            bytes_h2d=sim.link.bytes_moved[H2D],
+            bytes_d2h=sim.link.bytes_moved[D2H],
+            comp_time=sim.comp_time,
+            comm_time=(
+                sim.trace.busy_time("pcie-h2d") + sim.trace.busy_time("pcie-d2h")
+            ),
+            kernel_launches=1,  # UVM keeps BigKernel's single-launch model
+            notes=notes,
+        )
+        return RunResult(
+            self.name, app.name, output, sim_time, metrics, trace=sim.trace
+        )
+
+
+class UvmReadaheadEngine(GpuUvmEngine):
+    """UVM + adaptive sequential readahead prefetcher."""
+
+    name = "uvm_readahead"
+    display_name = "GPU UVM + Readahead Prefetch"
+    default_prefetch = "readahead"
+
+
+class UvmLearnedEngine(GpuUvmEngine):
+    """UVM + pattern-descriptor ("learned") prefetcher."""
+
+    name = "uvm_learned"
+    display_name = "GPU UVM + Learned Prefetch"
+    default_prefetch = "learned"

@@ -1,143 +1,12 @@
-"""Unified-virtual-memory baseline (historical-context extension).
+"""Deprecated location of the unified-memory baseline.
 
-BigKernel (2014) predates usable on-demand page migration; later CUDA
-Unified Memory delivers the same *programmability* (no chunking, no
-buffers, one launch over arbitrarily large data) directly in the driver.
-This engine models a fault-driven UVM executor so the reproduction can
-show both sides of that history:
-
-* UVM matches BigKernel's programming model and roughly matches
-  double-buffering performance (migration at pinned-DMA speed, no staging
-  memcpy, the prefetcher hiding most fault latencies) — without a line of
-  buffer-management code;
-* but for streaming workloads it still loses to BigKernel's pipeline:
-  page-granular migration moves *whole pages* (so sparse readers get no
-  volume reduction), un-hidden fault servicing stalls the kernel, and the
-  data lands in its original (uncoalesced) layout.
-
-Model: execution interleaves fault-service batches with computation on
-migrated pages. Pages arrive at ``pinned bandwidth`` with a per-page
-service overhead (driver fault handling, TLB shootdowns), discounted by a
-sequential-prefetch factor; computation overlaps migration except for the
-un-hidable fault stalls.
+The closed-form UVM stub that used to live here grew into a first-class
+engine family: a page-fault-driven DES model with a real page table,
+LRU eviction, dirty-page write-back, and prefetch variants. It now lives
+in :mod:`repro.engines.uvm` (page table in :mod:`repro.hw.paging`); this
+module re-exports the public names so existing imports keep working.
 """
 
-from __future__ import annotations
+from repro.engines.uvm import GpuUvmEngine, UvmSpec
 
-from dataclasses import dataclass
-from typing import Optional
-
-from repro.apps.base import AppData, Application
-from repro.engines.base import Engine, EngineConfig, RunMetrics, RunResult
-from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
-from repro.errors import RuntimeConfigError
-from repro.hw.gpu import GpuDevice
-from repro.units import KiB, US
-
-
-@dataclass(frozen=True)
-class UvmSpec:
-    """Driver parameters of the modelled unified-memory implementation."""
-
-    #: migration granularity (basic UVM page)
-    page_bytes: int = 64 * KiB
-    #: CPU-side service cost of one page fault (handler + mapping update)
-    fault_latency: float = 25 * US
-    #: fraction of faults the driver's sequential prefetcher hides for
-    #: streaming access (it queues neighbour pages ahead of the faulting
-    #: thread)
-    prefetch_hit: float = 0.65
-    #: fraction of the un-prefetched fault stalls that computation on
-    #: already-resident pages can cover
-    overlap: float = 0.2
-
-    def __post_init__(self):
-        if self.page_bytes < 4096:
-            raise RuntimeConfigError("page_bytes must be >= 4096")
-        if not 0.0 <= self.prefetch_hit <= 1.0:
-            raise RuntimeConfigError("prefetch_hit must be in [0, 1]")
-        if not 0.0 <= self.overlap <= 1.0:
-            raise RuntimeConfigError("overlap must be in [0, 1]")
-
-
-class GpuUvmEngine(Engine):
-    """Fault-driven unified-memory execution (no explicit transfers)."""
-
-    name = "gpu_uvm"
-    display_name = "GPU Unified Memory"
-
-    def __init__(self, spec: UvmSpec = UvmSpec()):
-        self.spec = spec
-
-    def run(
-        self,
-        app: Application,
-        data: AppData,
-        config: Optional[EngineConfig] = None,
-    ) -> RunResult:
-        config = config or EngineConfig()
-        hw = config.hardware
-        profile = app.access_profile(data)
-        totals = self.totals(app, data, profile)
-        gpu = GpuDevice(hw.gpu)
-
-        units = totals["units"]
-        threads = config.total_compute_threads
-
-        # Page-granular migration: records are tiny next to a page, so any
-        # read inside a page migrates the whole page — the entire mapped
-        # range crosses the link regardless of the read fraction.
-        migrated_bytes = totals["data_bytes"]
-        n_pages = -(-int(migrated_bytes) // self.spec.page_bytes)
-        migrate_bw_t = migrated_bytes / hw.pcie.pinned_bandwidth
-        raw_fault_t = n_pages * self.spec.fault_latency
-        # the prefetcher hides most fault latencies; computation hides part
-        # of the rest
-        stall_t = raw_fault_t * (1.0 - self.spec.prefetch_hit) * (
-            1.0 - self.spec.overlap
-        )
-
-        # Kernel computation on the original (uncoalesced) layout; pages
-        # already resident compute while others migrate, so the two
-        # components overlap like double-buffering: max(), plus the stalls.
-        comp_t = 0.0
-        for _ in range(profile.passes):
-            cost = kernel_chunk_cost(profile, units, coalesced=False)
-            comp_t += gpu.stage_time(cost, threads)
-        # mapped writes migrate dirty pages back once at the end
-        writeback = totals["write_bytes"]
-        wb_pages = -(-int(writeback) // self.spec.page_bytes) if writeback else 0
-        wb_t = (
-            writeback / hw.pcie.pinned_bandwidth
-            + wb_pages * self.spec.fault_latency * (1.0 - self.spec.prefetch_hit)
-            if writeback
-            else 0.0
-        )
-
-        # bandwidth-bound migration overlaps computation on resident pages;
-        # the un-hidden fault stalls do not overlap anything
-        migration_total = migrate_bw_t * profile.passes
-        sim_time = (
-            max(comp_t, migration_total)
-            + stall_t * profile.passes
-            + wb_t
-            + gpu.spec.kernel_launch_overhead
-        )
-
-        upc, _ = chunk_plan(units, config.chunk_bytes, profile.record_bytes)
-        bounds = app.chunk_bounds(data, upc)
-        output = self._functional_output(app, data, bounds)
-        metrics = RunMetrics(
-            n_chunks=n_pages,
-            bytes_h2d=int(migrated_bytes * profile.passes),
-            bytes_d2h=int(writeback),
-            comp_time=comp_t,
-            comm_time=migration_total + wb_t,
-            kernel_launches=1,  # UVM keeps BigKernel's single-launch model
-            notes={
-                "pages": n_pages,
-                "fault_stall": stall_t,
-                "page_bytes": self.spec.page_bytes,
-            },
-        )
-        return RunResult(self.name, app.name, output, sim_time, metrics)
+__all__ = ["GpuUvmEngine", "UvmSpec"]

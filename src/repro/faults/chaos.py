@@ -34,6 +34,7 @@ from repro.engines import (
     CpuSerialEngine,
     EngineConfig,
     GpuDoubleBufferEngine,
+    GpuUvmEngine,
 )
 from repro.errors import ReproError
 from repro.faults.plan import FaultPlan
@@ -174,6 +175,8 @@ def run_chaos(
     ``quick`` is CI scale: one app, 1 MiB datasets. The full sweep covers a
     write-free app (wordcount) and a mapped-writes app (kmeans, which
     exercises the 6-stage pipeline and the pinned write-landing buffers).
+    Both scales include the unified-memory engine, so every fault primitive
+    is also exercised against the demand-paging migration path.
 
     ``jobs > 1`` fans the per-(app, engine) blocks across an executor —
     ``backend="process"`` (a :class:`~concurrent.futures.ProcessPoolExecutor`
@@ -192,7 +195,7 @@ def run_chaos(
     engines = (
         list(engines)
         if engines is not None
-        else [GpuDoubleBufferEngine(), BigKernelEngine()]
+        else [GpuDoubleBufferEngine(), BigKernelEngine(), GpuUvmEngine()]
     )
     plans = tuple(plans) if plans is not None else default_fault_grid(seed)
 

@@ -1,0 +1,192 @@
+"""Modeled GPU page table for the unified-memory engines.
+
+Tracks the residency state of every page of the mapped range under a
+fixed device-memory capacity: pages are ``ABSENT`` (host-only),
+``INFLIGHT`` (migration DMA queued), or ``RESIDENT`` (device copy valid,
+possibly dirty). Eviction is strict LRU over the resident set, skipping
+pinned pages (the batch currently being computed on) — in-flight pages
+occupy capacity but are never eviction victims.
+
+The table also keeps the byte-conservation ledger the property tests
+reconcile: every migrated, evicted, and written-back byte is counted
+here, so ``migrated_bytes == evicted_bytes + resident_bytes()`` holds at
+any instant and ``bytes_h2d`` of a run equals ``migrated_bytes``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Optional
+
+from repro.errors import HardwareError
+
+#: residency states (bytearray-encoded)
+ABSENT, INFLIGHT, RESIDENT = 0, 1, 2
+
+
+class PageTable:
+    """Residency + LRU + dirty tracking over a paged mapped range."""
+
+    def __init__(self, total_bytes: int, page_bytes: int, capacity_pages: int):
+        if total_bytes < 1:
+            raise HardwareError("page table needs a non-empty mapped range")
+        if page_bytes < 1:
+            raise HardwareError("page_bytes must be positive")
+        if capacity_pages < 1:
+            raise HardwareError("capacity_pages must be positive")
+        self.total_bytes = int(total_bytes)
+        self.page_bytes = int(page_bytes)
+        self.capacity_pages = int(capacity_pages)
+        self.n_pages = -(-self.total_bytes // self.page_bytes)
+        self._state = bytearray(self.n_pages)
+        self._dirty = bytearray(self.n_pages)
+        #: resident pages in LRU order (oldest first)
+        self._lru: "OrderedDict[int, None]" = OrderedDict()
+        self._pinned: set[int] = set()
+        #: INFLIGHT + RESIDENT pages (capacity consumers)
+        self._held = 0
+        # conservation ledger
+        self.demand_pages = 0
+        self.prefetched_pages = 0
+        self.migrated_pages = 0
+        self.migrated_bytes = 0
+        self.evicted_pages = 0
+        self.evicted_bytes = 0
+        self.writeback_pages = 0
+        self.writeback_bytes = 0
+
+    # ------------------------------------------------------------ geometry
+    def page_size(self, page: int) -> int:
+        """Bytes of ``page`` (the last page may be partial)."""
+        if not 0 <= page < self.n_pages:
+            raise HardwareError(f"page {page} outside [0, {self.n_pages})")
+        return min(self.page_bytes, self.total_bytes - page * self.page_bytes)
+
+    def page_runs(self, pages: Iterable[int]) -> list[tuple[int, int, int]]:
+        """Merge ``pages`` into contiguous ``(first, count, nbytes)`` runs —
+        one DMA per run models the driver coalescing grouped faults."""
+        runs: list[tuple[int, int, int]] = []
+        for p in sorted(pages):
+            if runs and runs[-1][0] + runs[-1][1] == p:
+                first, count, nbytes = runs[-1]
+                runs[-1] = (first, count + 1, nbytes + self.page_size(p))
+            else:
+                runs.append((p, 1, self.page_size(p)))
+        return runs
+
+    # ------------------------------------------------------------ queries
+    def missing(self, pages: Iterable[int]) -> list[int]:
+        """The subset of ``pages`` that is neither resident nor in flight."""
+        return [p for p in pages if self._state[p] == ABSENT]
+
+    def resident_bytes(self) -> int:
+        return sum(self.page_size(p) for p in self._lru)
+
+    # ------------------------------------------------------------ protocol
+    def admit(
+        self, pages: list[int], must: bool = True, kind: str = "demand"
+    ) -> Optional[list[tuple[int, int, bool]]]:
+        """Reserve capacity for ``pages`` and mark them in flight.
+
+        Evicts LRU non-pinned resident pages as needed and returns the
+        victims as ``(page, nbytes, was_dirty)`` (dirty victims must be
+        written back by the caller). With ``must=False`` the call is
+        all-or-nothing best effort: returns None, state untouched, when
+        not enough victims exist (prefetch admission). ``must=True``
+        raises instead — the engine sizes windows so that demand
+        admission is always feasible."""
+        for p in pages:
+            if self._state[p] != ABSENT:
+                raise HardwareError(f"page {p} admitted while not absent")
+        need = self._held + len(pages) - self.capacity_pages
+        victims: list[int] = []
+        if need > 0:
+            evictable = [p for p in self._lru if p not in self._pinned]
+            if len(evictable) < need:
+                if must:
+                    raise HardwareError(
+                        f"page table wedged: need {need} eviction(s), only "
+                        f"{len(evictable)} unpinned resident page(s)"
+                    )
+                return None
+            victims = evictable[:need]
+        out = []
+        for v in victims:
+            nbytes = self.page_size(v)
+            dirty = bool(self._dirty[v])
+            del self._lru[v]
+            self._state[v] = ABSENT
+            self._dirty[v] = 0
+            self._held -= 1
+            self.evicted_pages += 1
+            self.evicted_bytes += nbytes
+            if dirty:
+                self.writeback_pages += 1
+                self.writeback_bytes += nbytes
+            out.append((v, nbytes, dirty))
+        for p in pages:
+            self._state[p] = INFLIGHT
+            self._held += 1
+        if kind == "demand":
+            self.demand_pages += len(pages)
+        else:
+            self.prefetched_pages += len(pages)
+        return out
+
+    def complete(self, pages: Iterable[int]) -> None:
+        """Migration DMA landed: in-flight pages become resident (MRU)."""
+        for p in pages:
+            if self._state[p] != INFLIGHT:
+                raise HardwareError(f"page {p} completed while not in flight")
+            self._state[p] = RESIDENT
+            self._lru[p] = None
+            self.migrated_pages += 1
+            self.migrated_bytes += self.page_size(p)
+
+    def touch(self, pages: Iterable[int], dirty: bool = False) -> None:
+        """Computation accessed ``pages``: refresh LRU, optionally dirty.
+
+        Page granularity means a writer app dirties the *whole* page —
+        UVM cannot distinguish sub-page writes."""
+        for p in pages:
+            if self._state[p] != RESIDENT:
+                raise HardwareError(f"page {p} touched while not resident")
+            self._lru.move_to_end(p)
+            if dirty:
+                self._dirty[p] = 1
+
+    def pin(self, pages: Iterable[int]) -> None:
+        """Exempt ``pages`` from eviction (the batch being computed on)."""
+        self._pinned.update(pages)
+
+    def unpin(self, pages: Iterable[int]) -> None:
+        self._pinned.difference_update(pages)
+
+    def take_dirty(self, pages: Optional[Iterable[int]] = None) -> list[int]:
+        """Claim dirty resident pages (all, or among ``pages``) for
+        write-back: clears their dirty bits and counts the bytes."""
+        scan = list(self._lru) if pages is None else list(pages)
+        out = []
+        for p in scan:
+            if self._state[p] == RESIDENT and self._dirty[p]:
+                self._dirty[p] = 0
+                self.writeback_pages += 1
+                self.writeback_bytes += self.page_size(p)
+                out.append(p)
+        return out
+
+    def stats(self) -> dict:
+        """The conservation ledger, for run notes and property tests."""
+        return {
+            "n_pages": self.n_pages,
+            "capacity_pages": self.capacity_pages,
+            "demand_pages": self.demand_pages,
+            "prefetched_pages": self.prefetched_pages,
+            "migrated_pages": self.migrated_pages,
+            "migrated_bytes": self.migrated_bytes,
+            "evicted_pages": self.evicted_pages,
+            "evicted_bytes": self.evicted_bytes,
+            "writeback_pages": self.writeback_pages,
+            "writeback_bytes": self.writeback_bytes,
+            "resident_bytes": self.resident_bytes(),
+        }

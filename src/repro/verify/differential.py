@@ -105,13 +105,16 @@ def run_differential(
     apps: Optional[Iterable] = None,
     engines: Optional[Iterable] = None,
     check_invariants: bool = True,
+    traced_engines: tuple = ("bigkernel",),
 ) -> DifferentialReport:
     """Run every engine on every app and diff against the serial oracle.
 
     ``apps``/``engines`` accept instances (defaults: all six apps, all five
-    schemes). BigKernel timelines additionally pass through the invariant
-    checkers when ``check_invariants`` is set; a violated timeline marks
-    the cell as a mismatch even if the output agreed.
+    schemes). Timelines of engines named in ``traced_engines`` additionally
+    pass through the invariant checkers when ``check_invariants`` is set
+    (default: BigKernel only; the UVM pillar passes the uvm family); a
+    violated timeline marks the cell as a mismatch even if the output
+    agreed.
     """
     config = config or EngineConfig(chunk_bytes=512 * 1024)
     apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
@@ -137,7 +140,7 @@ def run_differential(
         for engine in engines:
             if engine is oracle:
                 continue
-            wants_trace = check_invariants and engine.name == "bigkernel"
+            wants_trace = check_invariants and engine.name in traced_engines
             res = engine.run(app, data, traced_config if wants_trace else config)
             ok, detail = compare_outputs(app, ref.output, res.output)
             inv = None

@@ -16,8 +16,13 @@ explores the same space more aggressively when it is installed):
   random chunk plan and scheduling knobs, run the 4/6-stage pipeline
   simulation, and feed the resulting timeline through every trace
   invariant checker.
+* :func:`check_uvm_differential` draws a random unified-memory paging
+  configuration (page size, fault-batch size, device-memory capacity,
+  prefetch mode) and asserts the UVM engine's output matches the serial
+  oracle, its timeline passes the invariant checkers, and its page-byte
+  ledger conserves (migrated == evicted + resident, written-back == d2h).
 
-:func:`run_fuzz` bundles both loops into a :class:`FuzzReport`.
+:func:`run_fuzz` bundles the loops into a :class:`FuzzReport`.
 """
 
 from __future__ import annotations
@@ -67,7 +72,7 @@ TMP_NAMES = ("t0", "t1", "t2")
 class FuzzFailure:
     """One failing fuzz case, reproducible from (kind, seed, case)."""
 
-    kind: str  # "ir" | "pipeline"
+    kind: str  # "ir" | "pipeline" | "uvm"
     seed: int
     case: int
     message: str
@@ -88,6 +93,7 @@ class FuzzReport:
     #: IR cases the vectorized backend admitted (and matched exactly)
     ir_compiled: int = 0
     pipeline_cases: int = 0
+    uvm_cases: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -98,8 +104,8 @@ class FuzzReport:
         lines = [
             f"fuzz seed={self.seed}: {self.ir_cases} IR case(s) "
             f"({self.ir_sliced} sliced, {self.ir_compiled} compiled), "
-            f"{self.pipeline_cases} pipeline "
-            f"case(s), {len(self.failures)} failure(s)"
+            f"{self.pipeline_cases} pipeline case(s), "
+            f"{self.uvm_cases} uvm case(s), {len(self.failures)} failure(s)"
         ]
         lines += [f"  {f}" for f in self.failures[:10]]
         if len(self.failures) > 10:
@@ -398,6 +404,66 @@ def check_pipeline_case(rng: random.Random) -> None:
 
 
 # ---------------------------------------------------------------------------
+# random UVM paging configurations
+# ---------------------------------------------------------------------------
+
+def check_uvm_differential(rng: random.Random) -> None:
+    """One random paged-UVM configuration against the serial oracle.
+
+    Draws page geometry, fault-batch size, device-memory capacity, and
+    prefetch mode; the run's output must match ``cpu_serial``, its
+    timeline must pass every invariant checker, and the page table's
+    byte ledger must reconcile with the PCIe byte counters.
+    """
+    from repro.apps import get_app
+    from repro.engines import CpuSerialEngine, EngineConfig, GpuUvmEngine, UvmSpec
+    from repro.units import KiB, MiB
+    from repro.verify.invariants import verify_run
+
+    app = get_app(rng.choice(("netflix", "dna", "kmeans", "mastercard")))
+    data = app.generate(
+        n_bytes=rng.choice((256 * KiB, 512 * KiB, 1 * MiB)),
+        seed=rng.randint(0, 999),
+    )
+    spec = UvmSpec(
+        page_bytes=rng.choice((4 * KiB, 16 * KiB, 64 * KiB)),
+        batch_pages=rng.choice((4, 8, 16)),
+        prefetch_hit=rng.choice((0.0, 0.5, 1.0)),
+        device_mem_bytes=rng.choice((None, 256 * KiB, 1 * MiB)),
+        max_window=rng.choice((2, 8, 32)),
+    )
+    config = EngineConfig(
+        chunk_bytes=256 * KiB,
+        prefetch=rng.choice(("none", "readahead", "learned")),
+    )
+    ref = CpuSerialEngine().run(app, data, config)
+    res = GpuUvmEngine(spec).run(app, data, config)
+    if not app.outputs_equal(ref.output, res.output):
+        raise VerificationError(
+            f"uvm output diverged from {ref.engine} on {app.name} "
+            f"(spec={spec}, prefetch={config.prefetch})"
+        )
+    verify_run(res, config).raise_if_failed()
+    paging = res.metrics.notes["paging"]
+    if res.metrics.bytes_h2d != paging["migrated_bytes"]:
+        raise VerificationError(
+            f"h2d bytes {res.metrics.bytes_h2d} != migrated ledger "
+            f"{paging['migrated_bytes']}"
+        )
+    if paging["migrated_bytes"] != paging["evicted_bytes"] + paging["resident_bytes"]:
+        raise VerificationError(
+            f"page ledger leaks: migrated {paging['migrated_bytes']} != "
+            f"evicted {paging['evicted_bytes']} + resident "
+            f"{paging['resident_bytes']}"
+        )
+    if res.metrics.bytes_d2h != paging["writeback_bytes"]:
+        raise VerificationError(
+            f"d2h bytes {res.metrics.bytes_d2h} != writeback ledger "
+            f"{paging['writeback_bytes']}"
+        )
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -405,8 +471,9 @@ def run_fuzz(
     ir_iterations: int = 25,
     pipeline_iterations: int = 25,
     seed: int = 0,
+    uvm_iterations: int = 10,
 ) -> FuzzReport:
-    """Run both fuzz loops; failures carry the reproducing (seed, case)."""
+    """Run the fuzz loops; failures carry the reproducing (seed, case)."""
     report = FuzzReport(seed=seed)
     for case in range(ir_iterations):
         # string seeds hash via sha512 — stable across interpreter runs
@@ -436,4 +503,11 @@ def run_fuzz(
         except VerificationError as exc:
             report.failures.append(FuzzFailure("pipeline", seed, case, str(exc)))
         report.pipeline_cases += 1
+    for case in range(uvm_iterations):
+        rng = random.Random(f"uvm-{seed}-{case}")
+        try:
+            check_uvm_differential(rng)
+        except VerificationError as exc:
+            report.failures.append(FuzzFailure("uvm", seed, case, str(exc)))
+        report.uvm_cases += 1
     return report

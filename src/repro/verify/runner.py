@@ -4,11 +4,15 @@ in one pass/fail sweep.
 1. **Invariant suite** — run BigKernel (aggregate mode) on every app and
    invariant-check each timeline; also one per-block high-fidelity run.
 2. **Differential suite** — every engine vs the serial oracle on every app.
-3. **Fuzz suite** — seeded random IR programs and pipeline schedules.
-4. **Fastpath suite** (``--fastpath``) — every (app, engine) cell run with
+3. **UVM differential suite** — the unified-memory engine family
+   (``gpu_uvm``/``uvm_readahead``/``uvm_learned``) vs the serial oracle on
+   every app, each timeline invariant-checked.
+4. **Fuzz suite** — seeded random IR programs, pipeline schedules, and
+   randomized UVM paging configurations.
+5. **Fastpath suite** (``--fastpath``) — every (app, engine) cell run with
    the analytic steady-state pipeline vs with the DES forced; totals must
    agree within 1e-9 (see ``docs/performance.md``).
-5. **Compiled suite** (``--compiled``) — every app's kernel run through the
+6. **Compiled suite** (``--compiled``) — every app's kernel run through the
    vectorized NumPy backend vs the tree-walking interpreter: outputs at
    1e-9 (rtol 0), InterpStats counters and addr-gen address streams exact,
    and analysis verdicts matching each app's declared expectation.
@@ -22,7 +26,12 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.apps import ALL_APPS
-from repro.engines import BigKernelEngine, EngineConfig
+from repro.engines import (
+    UVM_ENGINES,
+    BigKernelEngine,
+    CpuSerialEngine,
+    EngineConfig,
+)
 from repro.runtime.pipeline import run_pipeline_per_block
 from repro.units import MiB
 from repro.verify.differential import (
@@ -47,6 +56,7 @@ class VerifySummary:
 
     invariant_reports: dict = field(default_factory=dict)  # name -> report
     differential: Optional[DifferentialReport] = None
+    uvm: Optional[DifferentialReport] = None
     fuzz: Optional[FuzzReport] = None
     fastpath: Optional[FastpathReport] = None
     compiled: Optional[CompiledReport] = None
@@ -56,6 +66,7 @@ class VerifySummary:
         return (
             all(r.ok for r in self.invariant_reports.values())
             and (self.differential is None or self.differential.ok)
+            and (self.uvm is None or self.uvm.ok)
             and (self.fuzz is None or self.fuzz.ok)
             and (self.fastpath is None or self.fastpath.ok)
             and (self.compiled is None or self.compiled.ok)
@@ -75,6 +86,8 @@ class VerifySummary:
             )
         if self.differential is not None:
             lines.append(self.differential.summary())
+        if self.uvm is not None:
+            lines.append("uvm " + self.uvm.summary())
         if self.fuzz is not None:
             lines.append(self.fuzz.summary())
         if self.fastpath is not None:
@@ -103,11 +116,12 @@ def run_verify(
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
+    uvm_n = 4 if quick else 12
     config = EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
     # the invariant checkers consume full timelines, which the analytic
     # fast path deliberately skips: pin the DES for pillar 1
     traced_config = config.with_(fastpath=False)
-    n_pillars = 3 + (1 if fastpath else 0) + (1 if compiled else 0)
+    n_pillars = 4 + (1 if fastpath else 0) + (1 if compiled else 0)
     summary = VerifySummary()
 
     emit(
@@ -132,16 +146,30 @@ def run_verify(
     )
 
     emit(
-        f"[3/{n_pillars}] fuzz suite: {fuzz_n} IR + {fuzz_n} pipeline cases, "
-        f"seed {seed}"
+        f"[3/{n_pillars}] uvm differential suite: paging engines vs "
+        f"cpu_serial oracle, timelines invariant-checked"
+    )
+    uvm_engines = [cls() for cls in UVM_ENGINES]
+    summary.uvm = run_differential(
+        data_bytes=data_bytes,
+        seed=seed,
+        config=config,
+        engines=[CpuSerialEngine()] + uvm_engines,
+        traced_engines=tuple(e.name for e in uvm_engines),
+    )
+
+    emit(
+        f"[4/{n_pillars}] fuzz suite: {fuzz_n} IR + {fuzz_n} pipeline + "
+        f"{uvm_n} uvm cases, seed {seed}"
     )
     summary.fuzz = run_fuzz(
-        ir_iterations=fuzz_n, pipeline_iterations=fuzz_n, seed=seed
+        ir_iterations=fuzz_n, pipeline_iterations=fuzz_n,
+        uvm_iterations=uvm_n, seed=seed,
     )
 
     if fastpath:
         emit(
-            f"[4/{n_pillars}] fastpath suite: analytic pipeline vs DES, "
+            f"[5/{n_pillars}] fastpath suite: analytic pipeline vs DES, "
             f"full app x engine matrix"
         )
         summary.fastpath = run_fastpath_differential(

@@ -155,3 +155,61 @@ class TestFig4aSnapshot:
         for engine, want in zip(engines, expected):
             got = matrix.get(app, engine).sim_time
             assert got == pytest.approx(want, rel=1e-9), (app, engine)
+
+
+UVM_RATIO_SNAPSHOT = {
+    # app: (gpu_uvm, uvm_readahead, uvm_learned) sim_time over bigkernel's
+    # at SETTINGS — how much slower each unified-memory variant runs
+    "wordcount": (1.4194182584570474, 1.3335980778596315, 1.357162916192829),
+    "mastercard": (1.4141257509368677, 1.3504624001278376, 1.4177048532265877),
+}
+
+UVM_SIM_TIME_SNAPSHOT = {
+    # app: (gpu_uvm, uvm_readahead, uvm_learned) sim_time at SETTINGS,
+    # exact to the double — the paging model must not move at all
+    "wordcount": (0.007256280924188194, 0.006817555174629112,
+                  0.006938022194029465),
+    "mastercard": (0.015442294357972813, 0.014747088714233837,
+                   0.015481378259145346),
+}
+
+UVM_ENGINE_ORDER = ("gpu_uvm", "uvm_readahead", "uvm_learned")
+
+
+class TestUvmSnapshot:
+    """Exact regression pin of the BigKernel-vs-UVM comparison.
+
+    Two representative apps — the sequential write-free wordcount and the
+    two-pass mastercard — on the three unified-memory variants. The
+    competitor gap is part of the reproduction's claims (``repro bench``),
+    so an accidental paging-model change that shifts it fails here first.
+    """
+
+    @pytest.fixture(scope="class")
+    def uvm_times(self):
+        from repro.apps import get_app
+        from repro.engines import UVM_ENGINES
+
+        times = {}
+        for app_name in sorted(UVM_SIM_TIME_SNAPSHOT):
+            app = get_app(app_name)
+            data = app.generate(n_bytes=SETTINGS.data_bytes, seed=SETTINGS.seed)
+            for cls in UVM_ENGINES:
+                res = cls().run(app, data, SETTINGS.config)
+                times[(app_name, cls.name)] = res.sim_time
+        return times
+
+    @pytest.mark.parametrize("app", sorted(UVM_RATIO_SNAPSHOT))
+    def test_slowdown_ratios(self, matrix, uvm_times, app):
+        expected = UVM_RATIO_SNAPSHOT[app]
+        big = matrix.get(app, "bigkernel").sim_time
+        for engine, want in zip(UVM_ENGINE_ORDER, expected):
+            got = uvm_times[(app, engine)] / big
+            assert got == pytest.approx(want, rel=5e-3), (app, engine)
+
+    @pytest.mark.parametrize("app", sorted(UVM_SIM_TIME_SNAPSHOT))
+    def test_sim_times_exact(self, matrix, uvm_times, app):
+        expected = UVM_SIM_TIME_SNAPSHOT[app]
+        for engine, want in zip(UVM_ENGINE_ORDER, expected):
+            got = uvm_times[(app, engine)]
+            assert got == pytest.approx(want, rel=1e-9), (app, engine)

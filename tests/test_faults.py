@@ -15,6 +15,7 @@ from repro.engines import (
     CpuSerialEngine,
     EngineConfig,
     GpuDoubleBufferEngine,
+    GpuUvmEngine,
 )
 from repro.errors import (
     DmaFaultError,
@@ -43,7 +44,7 @@ PRIMITIVE_PLANS = [
     FaultPlan(name="pinned-pressure").pinned.deny(after_bytes=1 * MiB),
 ]
 
-ENGINES = [GpuDoubleBufferEngine, BigKernelEngine]
+ENGINES = [GpuDoubleBufferEngine, BigKernelEngine, GpuUvmEngine]
 
 
 @pytest.fixture(scope="module")
@@ -116,6 +117,43 @@ class TestDmaRetry:
         stats = res.metrics.notes["fault_stats"]
         assert stats["retries_injected"] == 3
         assert stats["fatal_dmas"] == 0
+
+
+class TestUvmUnderDegrade:
+    """pcie.degrade against the demand-paging path: a slow link stretches
+    every fault-service migration, but must never corrupt data or break
+    the page-byte ledger."""
+
+    def test_degrade_slows_migrations_not_volume(self, workload):
+        app, data, ref = workload
+        cfg = EngineConfig(chunk_bytes=CHUNK)
+        engine = GpuUvmEngine()
+        clean = engine.run(app, data, cfg)
+        plan = FaultPlan(name="uvm-degrade").pcie.degrade(gbps=1.0)
+        faulted = engine.run(app, data, cfg.with_(faults=plan))
+
+        assert faulted.sim_time > clean.sim_time
+        # a degraded link changes timing, never the migrated volume
+        assert faulted.metrics.bytes_h2d == clean.metrics.bytes_h2d
+        assert (
+            faulted.metrics.notes["paging"] == clean.metrics.notes["paging"]
+        )
+        assert app.outputs_equal(ref.output, faulted.output)
+        report = verify_run(faulted, cfg.with_(faults=plan))
+        assert report.ok, report.summary()
+
+    def test_degrade_mid_run_only_stretches_tail(self, workload):
+        app, data, _ = workload
+        cfg = EngineConfig(chunk_bytes=CHUNK)
+        engine = GpuUvmEngine()
+        clean = engine.run(app, data, cfg)
+        late = FaultPlan(name="late").pcie.degrade(gbps=1.0, at=clean.sim_time)
+        early = FaultPlan(name="early").pcie.degrade(gbps=1.0, at=0.0)
+        res_late = engine.run(app, data, cfg.with_(faults=late))
+        res_early = engine.run(app, data, cfg.with_(faults=early))
+        # degrading after the last migration is a no-op; from t=0 it is not
+        assert res_late.sim_time == clean.sim_time
+        assert res_early.sim_time > clean.sim_time
 
 
 class TestDegradationPolicies:
