@@ -1,0 +1,43 @@
+"""Closed-form analytic performance predictor.
+
+``predict_run`` prices one engine configuration in O(1) — same schedule
+derivation as the engines, closed with the max-plus bound family of
+:mod:`repro.analytic.algebra` instead of a simulation.  ``predict_grid``
+vectorizes that over whole sweep grids (a million configurations in
+seconds); ``repro report`` renders instant roofline / what-if output.
+Validated against the DES by the ``verify --analytic`` pillar.
+"""
+
+from repro.analytic.algebra import STAGE_NAMES, pipeline_bounds
+from repro.analytic.grid import (
+    GRID_FIELDS,
+    GridPrediction,
+    predict_grid,
+    suggest_grid,
+)
+from repro.analytic.model import AppModel, extract_app_model
+from repro.analytic.predict import (
+    PREDICTABLE_ENGINES,
+    PredictedRun,
+    predict_run,
+    predict_templated,
+    resolve_engine,
+)
+from repro.analytic.report import run_report
+
+__all__ = [
+    "AppModel",
+    "GRID_FIELDS",
+    "GridPrediction",
+    "PREDICTABLE_ENGINES",
+    "PredictedRun",
+    "STAGE_NAMES",
+    "extract_app_model",
+    "pipeline_bounds",
+    "predict_grid",
+    "predict_run",
+    "predict_templated",
+    "resolve_engine",
+    "run_report",
+    "suggest_grid",
+]

@@ -1,0 +1,188 @@
+"""Closed-form max-plus algebra for the bounded-ring pipeline.
+
+PR 2 proved the pipelined engines' schedules are governed by a bounded-ring
+recurrence (``runtime/fastpath.py``): chunk *i*'s stage chain cannot start
+before stage resources free up *and* before compute of chunk ``i - depth``
+retires its ring slot.  This module closes that recurrence analytically.
+The completion time of a template(+tail) run is the maximum over a family
+of lower bounds, each an exact critical-path candidate:
+
+``st_{s}_{s'}`` (two-segment staircases)
+    Ride stage *s* serially over chunks ``0..n-2`` (lead-in through the
+    stages before *s* on chunk 0), bridge through stages ``(s..s']`` on
+    chunk ``n-2``, finish stages ``[s'..end)`` on the last chunk.
+    ``s == s'`` recovers the plain per-stage serial chain
+    (lead-in + stage occupancy + lead-out).  Multi-pass runs with a tail
+    chunk add an *inter-pass ring bubble*: at each pass boundary the
+    stage-s chain competes with ``compute_end(j0 - depth)`` plus the
+    descend back into *s*, and the (tiny) pass tail sitting inside the
+    ring window cannot hide that latency.
+
+``ring``
+    The ring constraint chained on itself:
+    ``compute_end(i) >= compute_end(i - depth) + chain(i)``, hopping
+    ``depth`` chunks at a time; interior hops are template-dominated and
+    the final hop lands on the last chunk (tail kind), plus the
+    write-back drain.
+
+``rs_{s}_{s'}``
+    Ring-prefix + staircase-suffix: hop the ring to the last multiple of
+    ``depth`` at or below ``n-2``, descend that chunk's stages to *s*,
+    ride stage *s* serially to chunk ``n-2``, bridge to *s'*, finish on
+    the last chunk.
+
+``d2h``
+    Device-to-host channel occupancy: address DMAs and write-back DMAs
+    serialize on the single d2h DMA engine.
+
+``cpu``
+    With a single CPU worker, assembly and scatter serialize on it.
+
+All bound families are *valid lower bounds* on the DES total, and their
+maximum matches the DES to ~1e-15 on homogeneous runs and to well under
+1% on the worst multi-pass tail geometries (see ``verify --analytic``).
+
+Every formula here is elementwise NumPy: scalars in give scalars out
+(0-d arrays, coerced by the callers), and full sweep-grid arrays in give
+per-point totals out with no per-point Python loop — that is what makes
+million-point sweeps take seconds (``repro.analytic.grid``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+#: the four always-present pipeline stages, in chunk order
+STAGES4 = ("A", "S", "X", "C")
+#: the full stage chain including the write-back phases
+STAGES6 = ("A", "S", "X", "C", "WB", "SC")
+
+#: map from algebra stage letters to the trace stage names used by the DES
+STAGE_NAMES = {
+    "A": "addr_gen",
+    "S": "data_assembly",
+    "X": "data_transfer",
+    "C": "compute",
+    "WB": "write_transfer",
+    "SC": "write_scatter",
+}
+
+_NEG = -np.inf
+
+
+def _ssum(terms) -> np.ndarray:
+    """Left-to-right sum starting from 0.0 (matches the scalar reference)."""
+    acc = np.float64(0.0)
+    for term in terms:
+        acc = acc + term
+    return acc
+
+
+def pipeline_bounds(
+    t: Dict[str, np.ndarray],
+    u: Dict[str, np.ndarray],
+    n,
+    n_tail,
+    depth,
+    per_pass,
+    passes,
+    cpu_workers,
+) -> Tuple[np.ndarray, Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Closed-form completion time of a template(+tail) pipeline run.
+
+    ``t`` and ``u`` are per-stage duration tables for the template and the
+    tail chunk kind (keys ``A S X C WB SC`` plus ``d_addr``, the pure
+    address-DMA component of ``A``).  For runs without a tail, pass
+    ``u = t`` and ``n_tail = 0``.  All values may be floats or broadcast-
+    compatible NumPy arrays; integer geometry (``n`` total chunks,
+    ``n_tail`` tail-kind chunks, ring ``depth``, ``per_pass`` chunks per
+    pass, ``passes``, ``cpu_workers``) likewise.
+
+    Returns ``(total, bounds, occupancy)``: the elementwise maximum over
+    the bound family, the named family itself (inapplicable members are
+    ``-inf``), and the per-stage busy-time occupancy
+    ``n_tpl * t[s] + n_tail * u[s]``.
+    """
+    n = np.asarray(n)
+    n_tail = np.asarray(n_tail)
+    depth = np.asarray(depth)
+    per_pass = np.asarray(per_pass)
+    passes = np.asarray(passes)
+    workers = np.asarray(cpu_workers)
+    n_tpl = n - n_tail
+    has_tail = n_tail > 0
+
+    occ = {s: n_tpl * t[s] + n_tail * u[s] for s in STAGES6 + ("d_addr",)}
+    L4_t = _ssum(t[s] for s in STAGES4)
+    L4_u = _ssum(u[s] for s in STAGES4)
+
+    bounds: Dict[str, np.ndarray] = {}
+
+    # -- two-segment staircase family (with the inter-pass ring bubble) ------
+    for i, s in enumerate(STAGES6):
+        pre = _ssum(t[x] for x in STAGES6[:i])
+        if s in STAGES4:
+            si = STAGES4.index(s)
+            # the ring hop from a pass boundary lands depth chunks back;
+            # whether that chunk is the pass tail decides the hop pricing
+            hop_is_tail = (depth % per_pass) == (1 % per_pass)
+            post = _ssum(
+                np.where(hop_is_tail, u[x], t[x]) for x in STAGES4[si + 1 :]
+            )
+            # tails inside the window of depth-1 chunks before the boundary
+            k_tails = np.minimum(1 + (depth - 2) // per_pass, depth - 1)
+            window = (depth - 1 - k_tails) * t[s] + k_tails * u[s]
+            n_bound = np.maximum(0, passes - (depth + per_pass - 1) // per_pass)
+            bubble = np.where(
+                has_tail & (passes > 1),
+                np.maximum(0.0, (post + pre) - window) * n_bound,
+                0.0,
+            )
+        else:
+            bubble = np.float64(0.0)
+        for j in range(i, len(STAGES6)):
+            sp = STAGES6[j]
+            bridge = _ssum(t[x] for x in STAGES6[i + 1 : j + 1])
+            tail_seg = _ssum(u[x] for x in STAGES6[j:])
+            val = pre + occ[s] - u[s] + bridge + tail_seg + bubble
+            if j > i:
+                # the bridge chunk n-2 does not exist on single-chunk runs
+                val = np.where(n < 2, _NEG, val)
+            bounds[f"st_{s}_{sp}"] = val
+
+    # -- ring bound ----------------------------------------------------------
+    q, r = np.divmod(n - 1, depth)
+    M_t = np.maximum(np.maximum(t["A"], t["S"]), np.maximum(t["X"], t["C"]))
+    drain = u["WB"] + u["SC"]
+    bounds["ring"] = np.where(
+        q >= 1, L4_t + r * M_t + (q - 1) * L4_t + L4_u + drain, _NEG
+    )
+
+    # -- ring-prefix + staircase-suffix family -------------------------------
+    j0 = np.where(n >= 2, ((n - 2) // depth) * depth, 0)
+    rs_ok = (n >= 2) & (j0 >= depth)
+    for i, s in enumerate(STAGES6):
+        desc = _ssum(t[x] for x in STAGES6[: i + 1])
+        for j in range(i, len(STAGES6)):
+            sp = STAGES6[j]
+            bridge = _ssum(t[x] for x in STAGES6[i + 1 : j + 1])
+            tail_seg = _ssum(u[x] for x in STAGES6[j:])
+            val = (j0 // depth) * L4_t + desc + (n - 2 - j0) * t[s] + bridge + tail_seg
+            bounds[f"rs_{s}_{sp}"] = np.where(rs_ok, val, _NEG)
+
+    # -- d2h channel occupancy (addr DMAs + write-back DMAs share the link) --
+    bounds["d2h"] = (t["A"] - t["d_addr"]) + occ["d_addr"] + occ["WB"] + u["SC"]
+
+    # -- single CPU worker serializes assembly + scatter ---------------------
+    bounds["cpu"] = np.where(
+        workers == 1,
+        t["A"] + occ["S"] + occ["SC"] + u["X"] + u["C"] + u["WB"],
+        _NEG,
+    )
+
+    total = np.float64(_NEG)
+    for val in bounds.values():
+        total = np.maximum(total, val)
+    return total, bounds, occ

@@ -1,0 +1,289 @@
+"""O(1)-per-configuration run prediction: ``predict_run``.
+
+Where ``engine.run(...)`` walks a discrete-event (or fastpath) simulation
+of the pipeline, ``predict_run(...)`` prices the same schedule in closed
+form: it builds the engine's own chunk cost vectors (so every byte/op
+ratio, buffer-planning and pattern-recognition decision is *identical* to
+the simulated run) and closes the bounded-ring recurrence with the
+max-plus bound family of :mod:`repro.analytic.algebra`.  No simulator
+events fire; cost is a handful of float ops regardless of chunk count.
+
+Scope: the five paper engines (``cpu_serial``, ``cpu_mt``, ``gpu_single``,
+``gpu_double``, ``bigkernel`` incl. ablation feature sets).  The UVM
+family is deliberately out of scope — demand paging's LRU page-table
+state has no per-chunk closed form (see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import Engine, EngineConfig
+from repro.engines.bigkernel import BigKernelEngine
+from repro.engines.cpu_mt import CpuMtEngine
+from repro.engines.cpu_serial import CpuSerialEngine
+from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
+from repro.engines.gpu_double import GpuDoubleBufferEngine
+from repro.engines.gpu_single import GpuSingleBufferEngine
+from repro.errors import ReproError
+from repro.hw.cpu import CpuDevice
+from repro.hw.gpu import GpuDevice
+from repro.runtime.fastpath import FLAG_BYTES, TemplatedChunks
+from repro.runtime.pipeline import ChunkWork, PipelineConfig
+
+from repro.analytic.algebra import STAGE_NAMES, STAGES6, pipeline_bounds
+
+#: engines predict_run can price in closed form
+PREDICTABLE_ENGINES = ("cpu_serial", "cpu_mt", "gpu_single", "gpu_double", "bigkernel")
+
+_ENGINE_CLASSES = {
+    "cpu_serial": CpuSerialEngine,
+    "cpu_mt": CpuMtEngine,
+    "gpu_single": GpuSingleBufferEngine,
+    "gpu_double": GpuDoubleBufferEngine,
+    "bigkernel": BigKernelEngine,
+}
+
+
+@dataclass
+class PredictedRun:
+    """Closed-form prediction of one engine run."""
+
+    engine: str
+    app: str
+    #: predicted total simulated time (same unit as ``RunResult.sim_time``)
+    sim_time: float
+    #: per-stage busy time (trace stage names; CPU baselines use roofline legs)
+    stage_occupancy: Dict[str, float]
+    #: stage with the largest busy time
+    bottleneck: str
+    #: fraction of the smaller of (PCIe busy, compute busy) hidden under
+    #: the other — 0 for fully serialized schemes, →1 for perfect pipelining
+    overlap_fraction: float
+    #: the bound family (named lower bounds; the max is ``sim_time``)
+    bounds: Dict[str, float] = field(default_factory=dict, repr=False)
+    #: name of the binding (maximal) bound
+    binding_bound: str = ""
+    n_chunks: int = 0
+
+
+def resolve_engine(engine: Union[str, Engine]) -> Engine:
+    """Return an engine instance predict_run knows how to price."""
+    if isinstance(engine, Engine):
+        cls = _ENGINE_CLASSES.get(engine.name)
+        if cls is None or not isinstance(engine, cls):
+            raise ReproError(
+                f"no closed-form model for engine {engine.name!r}; "
+                f"predictable: {', '.join(PREDICTABLE_ENGINES)}"
+            )
+        return engine
+    cls = _ENGINE_CLASSES.get(engine)
+    if cls is None:
+        raise ReproError(
+            f"no closed-form model for engine {engine!r}; "
+            f"predictable: {', '.join(PREDICTABLE_ENGINES)}"
+        )
+    return cls()
+
+
+def chunk_durations(k: ChunkWork, pcie, sync: float) -> Dict[str, float]:
+    """Per-stage durations of one chunk kind, as the DES would price them."""
+    d_addr = (
+        pcie.transfer_time(k.addr_bytes_d2h, pinned=True) if k.addr_bytes_d2h > 0 else 0.0
+    )
+    return dict(
+        A=k.t_addr_gen + d_addr,
+        S=k.t_assembly,
+        X=pcie.transfer_time(k.xfer_bytes, pinned=True, segments=k.xfer_segments)
+        + pcie.transfer_time(FLAG_BYTES, pinned=True),
+        C=k.t_compute + sync,
+        WB=(
+            pcie.transfer_time(k.write_bytes, pinned=True, segments=k.xfer_segments)
+            if k.write_bytes > 0
+            else 0.0
+        ),
+        SC=k.t_scatter,
+        d_addr=d_addr,
+    )
+
+
+def predict_templated(hw, chunks: TemplatedChunks, pipe_cfg: PipelineConfig):
+    """Closed-form total of a template(+tail) pipeline run.
+
+    Returns ``(total, bounds, occupancy)`` with plain-float values.
+    """
+    pcie = hw.pcie
+    t = chunk_durations(chunks.template, pcie, pipe_cfg.sync_overhead)
+    u = (
+        chunk_durations(chunks.tail, pcie, pipe_cfg.sync_overhead)
+        if chunks.tail is not None
+        else t
+    )
+    n_tail = chunks.passes if chunks.tail is not None else 0
+    total, bounds, occ = pipeline_bounds(
+        t,
+        u,
+        n=len(chunks),
+        n_tail=n_tail,
+        depth=pipe_cfg.ring_depth,
+        per_pass=chunks.per_pass,
+        passes=chunks.passes,
+        cpu_workers=pipe_cfg.cpu_workers,
+    )
+    bounds = {name: float(v) for name, v in bounds.items()}
+    occupancy = {STAGE_NAMES[s]: float(occ[s]) for s in STAGES6}
+    return float(total), bounds, occupancy
+
+
+def _finish_pipelined(name, app_name, total, bounds, occupancy, n_chunks):
+    comm = occupancy["data_transfer"] + occupancy["write_transfer"]
+    comp = occupancy["compute"]
+    floor = min(comm, comp)
+    overlap = 0.0
+    if floor > 0.0:
+        overlap = min(1.0, max(0.0, (comm + comp - total) / floor))
+    real_bounds = {k: v for k, v in bounds.items() if v != float("-inf")}
+    binding = max(real_bounds, key=real_bounds.get)
+    bottleneck = max(occupancy, key=occupancy.get)
+    return PredictedRun(
+        engine=name,
+        app=app_name,
+        sim_time=total,
+        stage_occupancy=occupancy,
+        bottleneck=bottleneck,
+        overlap_fraction=overlap,
+        bounds=real_bounds,
+        binding_bound=binding,
+        n_chunks=n_chunks,
+    )
+
+
+def _gpu_double_chunks(app, data, config) -> TemplatedChunks:
+    """Rebuild gpu_double's schedule exactly as the engine prices it."""
+    hw = config.hardware
+    profile = app.access_profile(data)
+    gpu = GpuDevice(hw.gpu)
+    cpu = CpuDevice(hw.cpu)
+    units = app.n_units(data)
+    upc, _ = chunk_plan(units, config.chunk_bytes, profile.record_bytes)
+    threads = config.total_compute_threads
+
+    def costs(u: int) -> ChunkWork:
+        raw = u * profile.record_bytes
+        cost = kernel_chunk_cost(profile, u, coalesced=False)
+        t_comp = gpu.stage_time(cost, threads) + gpu.spec.kernel_launch_overhead
+        wb = u * profile.write_bytes_per_record
+        return ChunkWork(
+            index=0,
+            t_addr_gen=0.0,
+            addr_bytes_d2h=0,
+            t_assembly=cpu.staging_copy_time(raw),
+            xfer_bytes=int(raw),
+            t_compute=t_comp,
+            write_bytes=int(wb),
+            t_scatter=cpu.staging_copy_time(wb) if wb > 0 else 0.0,
+        )
+
+    n_full, rem = divmod(units, upc)
+    if rem == 0:
+        return TemplatedChunks(costs(upc), n_full, None, profile.passes)
+    if n_full == 0:
+        return TemplatedChunks(costs(rem), 1, None, profile.passes)
+    return TemplatedChunks(costs(upc), n_full, costs(rem), profile.passes)
+
+
+def predict_run(
+    app: Application,
+    data: AppData,
+    config: Optional[EngineConfig] = None,
+    engine: Union[str, Engine] = "bigkernel",
+) -> PredictedRun:
+    """Predict ``engine.run(app, data, config).sim_time`` without running it."""
+    config = config if config is not None else EngineConfig()
+    eng = resolve_engine(engine)
+    hw = config.hardware
+    profile = app.access_profile(data)
+    units = app.n_units(data)
+    cpu = CpuDevice(hw.cpu)
+
+    if eng.name == "cpu_serial" or eng.name == "cpu_mt":
+        n_ops = units * profile.cpu_ops_per_record * profile.passes
+        nbytes = units * profile.record_bytes * profile.passes
+        if eng.name == "cpu_serial":
+            compute_t = n_ops / hw.cpu.peak_ops_per_thread
+            mem_t = nbytes / hw.cpu.per_thread_bandwidth
+        else:
+            cores_used = min(hw.cpu.threads, hw.cpu.cores)
+            compute_t = n_ops / (
+                hw.cpu.peak_ops_per_thread * cores_used * hw.cpu.mt_efficiency
+            )
+            agg_bw = min(
+                hw.cpu.mem_bandwidth, hw.cpu.threads * hw.cpu.per_thread_bandwidth
+            )
+            mem_t = nbytes / agg_bw
+        total = max(compute_t, mem_t)
+        occupancy = {"cpu_compute": compute_t, "cpu_memory": mem_t}
+        return PredictedRun(
+            engine=eng.name,
+            app=app.name,
+            sim_time=total,
+            stage_occupancy=occupancy,
+            bottleneck=max(occupancy, key=occupancy.get),
+            overlap_fraction=0.0,
+            bounds=dict(occupancy),
+            binding_bound=max(occupancy, key=occupancy.get),
+            n_chunks=1,
+        )
+
+    if eng.name == "gpu_single":
+        gpu = GpuDevice(hw.gpu)
+        upc, _ = chunk_plan(units, config.chunk_bytes, profile.record_bytes)
+        threads = config.total_compute_threads
+
+        def costs(u: int):
+            raw = u * profile.record_bytes
+            comm = cpu.staging_copy_time(raw) + hw.pcie.transfer_time(raw, pinned=True)
+            cost = kernel_chunk_cost(profile, u, coalesced=False)
+            comp = gpu.stage_time(cost, threads) + gpu.spec.kernel_launch_overhead
+            wb = u * profile.write_bytes_per_record
+            if wb > 0:
+                comm += hw.pcie.transfer_time(wb, pinned=True)
+                comm += cpu.staging_copy_time(wb)
+            return comm, comp
+
+        n_full, rem = divmod(units, upc)
+        comm_f, comp_f = costs(upc) if n_full else (0.0, 0.0)
+        comm_t, comp_t = costs(rem) if rem else (0.0, 0.0)
+        comm = profile.passes * (n_full * comm_f + comm_t)
+        comp = profile.passes * (n_full * comp_f + comp_t)
+        total = comm + comp
+        occupancy = {"data_transfer": comm, "compute": comp}
+        return PredictedRun(
+            engine=eng.name,
+            app=app.name,
+            sim_time=total,
+            stage_occupancy=occupancy,
+            bottleneck=max(occupancy, key=occupancy.get),
+            overlap_fraction=0.0,
+            bounds={"serial_chain": total},
+            binding_bound="serial_chain",
+            n_chunks=profile.passes * (n_full + (1 if rem else 0)),
+        )
+
+    if eng.name == "gpu_double":
+        chunks = _gpu_double_chunks(app, data, config)
+        pipe_cfg = PipelineConfig(ring_depth=2, cpu_workers=1)
+        total, bounds, occupancy = predict_templated(hw, chunks, pipe_cfg)
+        return _finish_pipelined(
+            eng.name, app.name, total, bounds, occupancy, len(chunks)
+        )
+
+    # bigkernel (any feature set): price the engine's own resolved schedule
+    sched = eng._schedule(app, data, config)
+    total, bounds, occupancy = predict_templated(hw, sched.chunks, sched.pipe_cfg)
+    total += hw.gpu.kernel_launch_overhead
+    return _finish_pipelined(
+        eng.name, app.name, total, bounds, occupancy, len(sched.chunks)
+    )

@@ -1,0 +1,134 @@
+"""Instant roofline / what-if reports (``python -m repro report``).
+
+Everything here is computed with the closed-form predictor — no simulator
+events fire, so the report is effectively instant even for geometry scans:
+per-engine predicted times, the bottleneck stage and overlap fraction of
+the pipelined engines, the predicted BigKernel speedups the paper's Fig. 4
+is about, and a chunk-size sensitivity scan done with ``predict_grid``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.apps import get_app
+from repro.engines.base import EngineConfig
+from repro.hw.spec import HW_PRESETS, get_hardware
+from repro.kernelc.analysis import kernel_intensity
+
+from repro.analytic.grid import predict_grid
+from repro.analytic.predict import PREDICTABLE_ENGINES, predict_run
+
+#: chunk ladder scanned by the sensitivity section (KiB)
+CHUNK_LADDER_KIB = (64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def _fmt_t(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f} s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f} ms"
+    return f"{seconds * 1e6:8.2f} us"
+
+
+def run_report(
+    app_name: str,
+    data_bytes: int = 8 * 2**20,
+    seed: int = 7,
+    config: Optional[EngineConfig] = None,
+    hw_preset: Optional[str] = None,
+) -> str:
+    """Render the analytic report for one app as plain text."""
+    app = get_app(app_name)
+    config = config if config is not None else EngineConfig()
+    if hw_preset is not None:
+        hw = get_hardware(hw_preset)
+        config = config.with_(hardware=hw)
+    else:
+        hw_preset = next(
+            (k for k, v in HW_PRESETS.items() if v == config.hardware), "custom"
+        )
+    data = app.generate(n_bytes=data_bytes, seed=seed)
+    profile = app.access_profile(data)
+    units = app.n_units(data)
+
+    lines: List[str] = []
+    lines.append(
+        f"analytic report: {app.name}  "
+        f"({data_bytes / 2**20:.0f} MiB, seed {seed}, hw={hw_preset})"
+    )
+    lines.append("=" * len(lines[-1]))
+
+    # -- kernel / profile census --------------------------------------------
+    intensity = (
+        profile.gpu_ops_per_record / profile.record_bytes
+        if profile.record_bytes > 0
+        else float("inf")
+    )
+    lines.append(
+        f"profile: {units} units x {profile.record_bytes:g} B/record, "
+        f"{profile.read_bytes_per_record:g} B read, "
+        f"{profile.write_bytes_per_record:g} B written, "
+        f"{profile.passes} pass(es)"
+    )
+    lines.append(
+        f"intensity: {profile.gpu_ops_per_record:g} GPU ops/record "
+        f"({intensity:.3f} ops/byte), "
+        f"{profile.cpu_ops_per_record:g} CPU ops/record"
+    )
+    kernel = app.kernel()
+    if kernel is not None:
+        k = kernel_intensity(kernel)
+        lines.append(
+            f"kernel IR: {k.arithmetic_ops} arith ops, "
+            f"{k.mapped_accesses} mapped + {k.resident_accesses} resident "
+            f"accesses, {k.emitted_addresses} address emits, "
+            f"{k.branches} branches, {k.loops} loops"
+        )
+    lines.append("")
+
+    # -- per-engine predictions ---------------------------------------------
+    preds = {
+        name: predict_run(app, data, config, engine=name)
+        for name in PREDICTABLE_ENGINES
+    }
+    lines.append(
+        f"{'engine':12s} {'predicted':>11s}  {'bottleneck':18s} {'overlap':>7s}"
+    )
+    for name in PREDICTABLE_ENGINES:
+        p = preds[name]
+        lines.append(
+            f"{name:12s} {_fmt_t(p.sim_time)}  {p.bottleneck:18s} "
+            f"{p.overlap_fraction:6.0%}"
+        )
+    bk = preds["bigkernel"]
+    lines.append("")
+    lines.append(
+        f"predicted speedups: bigkernel is "
+        f"{preds['gpu_double'].sim_time / bk.sim_time:.2f}x vs gpu_double, "
+        f"{preds['gpu_single'].sim_time / bk.sim_time:.2f}x vs gpu_single, "
+        f"{preds['cpu_serial'].sim_time / bk.sim_time:.2f}x vs cpu_serial"
+    )
+    lines.append("")
+
+    # -- bigkernel stage occupancy -------------------------------------------
+    lines.append(f"bigkernel stage occupancy (binding bound: {bk.binding_bound}):")
+    busiest = max(bk.stage_occupancy.values()) or 1.0
+    for stage, busy in bk.stage_occupancy.items():
+        bar = "#" * int(round(24 * busy / busiest))
+        lines.append(f"  {stage:16s} {_fmt_t(busy)}  {bar}")
+    lines.append("")
+
+    # -- chunk-size sensitivity ----------------------------------------------
+    ladder = [k * 1024 for k in CHUNK_LADDER_KIB]
+    gp = predict_grid(
+        app, data, {"chunk_bytes": ladder}, config, engine="bigkernel"
+    )
+    best = gp.best_params()["chunk_bytes"]
+    lines.append("chunk-size sensitivity (bigkernel):")
+    for i, cb in enumerate(ladder):
+        mark = "  <- best" if cb == best else ""
+        lines.append(
+            f"  {cb // 1024:5d} KiB  {_fmt_t(float(gp.sim_time[i]))}{mark}"
+        )
+    return "\n".join(lines)

@@ -383,6 +383,49 @@ def _disk_key(
     return content_run_key(engine, app, data, cfg)
 
 
+def _sweep_analytic(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    base_config: EngineConfig,
+    grid: dict,
+) -> SweepResult:
+    """Price every grid point with the closed-form predictor."""
+    from repro.analytic import predict_grid
+
+    gp = predict_grid(app, data, grid, base_config, engine=engine)
+    points = []
+    for i, sim in enumerate(gp.sim_time):
+        points.append(SweepPoint(gp.params_at(i), float(sim), None))
+    return SweepResult(points)
+
+
+def _hybrid_candidates(
+    engine: Engine,
+    app: Application,
+    data: AppData,
+    base_config: EngineConfig,
+    grid: dict,
+    combos: list,
+    top_k: int,
+) -> list:
+    """Keep the analytically-best ``top_k`` combos (ties expanded).
+
+    ``predict_grid`` enumerates sorted keys x listed values — the same
+    order ``combos`` was built in — so selected flat indices map straight
+    back. Returning them sorted preserves grid order, which keeps every
+    downstream tie-break (and the process backend's merge) identical to a
+    pure-DES sweep over the same candidate set.
+    """
+    if top_k >= len(combos):
+        return combos
+    from repro.analytic import predict_grid
+
+    gp = predict_grid(app, data, grid, base_config, engine=engine)
+    selected = sorted(gp.top(top_k, expand_ties=True))
+    return [combos[i] for i in selected]
+
+
 def sweep(
     engine: Engine,
     app: Application,
@@ -392,6 +435,8 @@ def sweep(
     jobs: int = 1,
     cache: bool = False,
     backend: str = "auto",
+    mode: str = "des",
+    top_k: int = 8,
 ) -> SweepResult:
     """Run ``engine`` over the cartesian product of ``grid`` overrides.
 
@@ -406,12 +451,37 @@ def sweep(
     winner are identical to the serial sweep's. ``cache=True`` consults
     the process-wide two-tier :data:`RUN_CACHE` (in-memory LRU + on-disk
     content-keyed store) before evaluating any point.
+
+    ``mode`` selects how points are evaluated:
+
+    - ``"des"`` (default): simulate every point.
+    - ``"analytic"``: price every point with the closed-form predictor
+      (``repro.analytic.predict_grid``) — no simulation at all, points
+      carry ``result=None``. Grids limited to the predictor's sweepable
+      fields; for million-point scans call ``predict_grid`` directly and
+      skip the per-point ``SweepPoint`` materialization.
+    - ``"hybrid"``: rank the full grid analytically, then DES-evaluate
+      only the best ``top_k`` candidates (plus any points whose
+      prediction exactly ties the k-th — analytic plateaus are bitwise
+      ties), through the normal backend/cache machinery. The analytic
+      ranking uses the same ``(sim_time, chunk_bytes, num_blocks, grid
+      order)`` tie-break as :meth:`SweepResult.best`, so on plateaus the
+      hybrid winner is identical to the pure-DES winner.
     """
     keys = sorted(grid)
     combos = [
         dict(zip(keys, values))
         for values in itertools.product(*(grid[k] for k in keys))
     ]
+
+    if mode not in ("des", "analytic", "hybrid"):
+        raise ReproError(f"unknown sweep mode {mode!r}: des | analytic | hybrid")
+    if mode == "analytic":
+        return _sweep_analytic(engine, app, data, base_config, grid)
+    if mode == "hybrid" and len(combos) > 1:
+        combos = _hybrid_candidates(
+            engine, app, data, base_config, grid, combos, top_k
+        )
 
     jobs = _resolve_jobs(jobs) if jobs != 1 else 1
     chosen_backend = _resolve_backend(
@@ -507,6 +577,8 @@ def autotune(
     jobs: int = 1,
     cache: bool = False,
     backend: str = "auto",
+    mode: str = "des",
+    top_k: int = 8,
 ) -> tuple[EngineConfig, SweepResult]:
     """Find the engine's best configuration for this app/dataset.
 
@@ -514,8 +586,8 @@ def autotune(
     ``base_config`` with the winning grid overrides applied (all other
     base fields preserved). Ties follow :meth:`SweepResult.best`'s
     deterministic ordering. CPU engines are configuration-insensitive and
-    short-circuit to the base config. ``jobs``/``cache``/``backend`` pass
-    through to :func:`sweep`.
+    short-circuit to the base config. ``jobs``/``cache``/``backend``/
+    ``mode``/``top_k`` pass through to :func:`sweep`.
     """
     base_config = base_config or EngineConfig()
     if engine.name.startswith("cpu"):
@@ -532,5 +604,7 @@ def autotune(
         jobs=jobs,
         cache=cache,
         backend=backend,
+        mode=mode,
+        top_k=top_k,
     )
     return base_config.with_(**res.best.params), res

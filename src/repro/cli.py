@@ -179,6 +179,7 @@ def cmd_verify(args) -> int:
         fuzz_iterations=args.fuzz_iters,
         fastpath=args.fastpath,
         compiled=args.compiled,
+        analytic=args.analytic,
     )
     print(summary.summary())
     return 0 if summary.ok else 1
@@ -243,6 +244,8 @@ def cmd_sweep(args) -> int:
     if engine is None:
         print(f"unknown engine {args.engine!r}", file=sys.stderr)
         return 2
+    if args.points and args.mode == "analytic":
+        return _analytic_scan(args, engine, app, data)
     best_cfg, res = autotune(
         engine,
         app,
@@ -251,6 +254,8 @@ def cmd_sweep(args) -> int:
         jobs=args.jobs,
         cache=True,
         backend=args.backend,
+        mode=args.mode,
+        top_k=args.top_k,
     )
     rows = [
         [
@@ -269,6 +274,56 @@ def cmd_sweep(args) -> int:
     ))
     print(f"best: chunk_bytes={fmt_bytes(best_cfg.chunk_bytes)} "
           f"num_blocks={best_cfg.num_blocks}")
+    if args.spot_check and args.mode == "analytic":
+        return _spot_check(engine, app, data, best_cfg, res.best.sim_time)
+    return 0
+
+
+def _spot_check(engine, app, data, cfg, predicted: float) -> int:
+    """DES-simulate one predicted optimum; nonzero exit beyond tolerance."""
+    from repro.verify.differential import ANALYTIC_TOL
+
+    res = engine.run(app, data, cfg.with_(functional=False))
+    rel = abs(predicted - res.sim_time) / max(abs(res.sim_time), 1e-300)
+    ok = rel <= ANALYTIC_TOL
+    print(f"spot check: DES says {fmt_time(res.sim_time)} "
+          f"(predicted {fmt_time(predicted)}, rel err {rel:.2e}, "
+          f"tol {ANALYTIC_TOL:g}: {'ok' if ok else 'FAIL'})")
+    return 0 if ok else 1
+
+
+def _analytic_scan(args, engine, app, data) -> int:
+    import time
+
+    from repro.analytic import predict_grid, suggest_grid
+
+    base = _settings(args).config
+    grid = suggest_grid(args.points)
+    t0 = time.perf_counter()
+    gp = predict_grid(app, data, grid, base, engine=engine)
+    elapsed = time.perf_counter() - t0
+    best = gp.best_params()
+    print(f"{engine.display_name} x {app.display_name}: analytic scan of "
+          f"{gp.n_points:,} configurations in {elapsed:.2f} s "
+          f"({gp.n_points / max(elapsed, 1e-9):,.0f} points/s)")
+    print("best: " + " ".join(f"{k}={v}" for k, v in sorted(best.items()))
+          + f"  predicted {fmt_time(gp.best_time())}")
+    if args.spot_check:
+        return _spot_check(engine, app, data, gp.config_at(gp.argbest()),
+                           gp.best_time())
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analytic import run_report
+
+    print(run_report(
+        args.app,
+        data_bytes=args.data_mib * MiB,
+        seed=args.seed,
+        config=_settings(args).config,
+        hw_preset=args.hw,
+    ))
     return 0
 
 
@@ -317,6 +372,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the compiled-vs-interpreter differential "
                           "(vectorized kernel backend against the "
                           "tree-walking oracle)")
+    p_v.add_argument("--analytic", action="store_true",
+                     help="also run the closed-form-predictor-vs-des "
+                          "differential (repro.analytic against the "
+                          "simulator, 5%% relative tolerance)")
 
     p_c = sub.add_parser(
         "chaos",
@@ -371,7 +430,36 @@ def build_parser() -> argparse.ArgumentParser:
                       help="executor for --jobs > 1: process sidesteps the "
                            "GIL for DES-bound grids, thread suits "
                            "fastpath/cached ones (auto decides)")
+    p_sw.add_argument("--mode", default="des",
+                      choices=["des", "analytic", "hybrid"],
+                      help="des simulates every point; analytic prices the "
+                           "grid with the closed-form predictor (no "
+                           "simulation); hybrid ranks analytically and "
+                           "simulates only the top candidates")
+    p_sw.add_argument("--top-k", type=int, default=8,
+                      help="candidates the hybrid mode DES-verifies "
+                           "(exact prediction ties are expanded)")
+    p_sw.add_argument("--points", type=int, default=0,
+                      help="analytic mode only: scan a generated grid of at "
+                           "least this many configurations instead of the "
+                           "default tuning grid")
+    p_sw.add_argument("--spot-check", action="store_true",
+                      help="analytic mode only: DES-simulate the predicted "
+                           "optimum and report the relative error")
     _add_common(p_sw)
+
+    p_rep = sub.add_parser(
+        "report",
+        help="instant analytic report: predicted per-engine times, "
+             "bottleneck stages, speedups and chunk-size sensitivity "
+             "(closed-form, no simulation)",
+    )
+    p_rep.add_argument("app", help="application name (see `repro apps`)")
+    p_rep.add_argument("--hw", default=None,
+                       help="hardware preset for what-if analysis "
+                            "(see repro.hw.spec.HW_PRESETS; default: the "
+                            "paper's testbed)")
+    _add_common(p_rep)
 
     p_tr = sub.add_parser("trace", help="dump a BigKernel Chrome-trace timeline")
     p_tr.add_argument("app")
@@ -394,6 +482,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "report": cmd_report,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,
         "fig5": cmd_figure,

@@ -23,6 +23,7 @@ from repro.engines.cpu_mt import CpuMtEngine
 from repro.engines.gpu_single import GpuSingleBufferEngine
 from repro.engines.gpu_double import GpuDoubleBufferEngine
 from repro.engines.bigkernel import BigKernelEngine, BigKernelFeatures
+from repro.engines.multigpu import MultiGpuBigKernelEngine
 from repro.engines.uvm import (
     GpuUvmEngine,
     UvmLearnedEngine,
@@ -59,6 +60,7 @@ __all__ = [
     "GpuDoubleBufferEngine",
     "BigKernelEngine",
     "BigKernelFeatures",
+    "MultiGpuBigKernelEngine",
     "GpuUvmEngine",
     "UvmReadaheadEngine",
     "UvmLearnedEngine",

@@ -1,0 +1,130 @@
+"""Multi-GPU BigKernel.
+
+The paper's pipeline is per-thread-block and its CPU threads are
+per-block, so nothing in the design ties it to one device: this extension
+shards the unit range across ``n_gpus`` simulated GPUs, each running its
+own 4/6-stage pipeline against its own PCIe link (dual-x16 style) or a
+shared link, with the host's assembly threads divided among the shards.
+
+The related work the paper cites (Huynh et al., PPoPP'12) maps streaming
+graphs onto multi-GPU systems the same way: partition the stream, keep
+each device's pipeline independent, synchronize only at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.apps.base import AppData, Application
+from repro.engines.base import EngineConfig, RunMetrics, RunResult
+from repro.engines.bigkernel import BigKernelEngine, BigKernelFeatures
+from repro.errors import RuntimeConfigError
+from repro.hw.gpu import GpuDevice
+from repro.runtime.pipeline import (
+    STAGE_COMPUTE,
+    STAGE_TRANSFER,
+    STAGE_WRITEBACK_XFER,
+    ChunkWork,
+    run_pipeline,
+)
+
+
+class MultiGpuBigKernelEngine(BigKernelEngine):
+    """BigKernel sharded across several simulated GPUs."""
+
+    name = "bigkernel_multigpu"
+    display_name = "GPU BigKernel (multi-GPU)"
+
+    def __init__(
+        self,
+        n_gpus: int = 2,
+        features: BigKernelFeatures = BigKernelFeatures.full(),
+        shared_link: bool = False,
+    ):
+        super().__init__(features)
+        if n_gpus < 1:
+            raise RuntimeConfigError("n_gpus must be >= 1")
+        self.n_gpus = n_gpus
+        #: True models all GPUs behind one PCIe root (bandwidth shared);
+        #: False models one x16 link per device
+        self.shared_link = shared_link
+        self.name = f"bigkernel_multigpu{n_gpus}"
+
+    @property
+    def cache_key(self) -> str:
+        return f"{self.name}:{self.features.label}:shared={self.shared_link}"
+
+    def run(
+        self,
+        app: Application,
+        data: AppData,
+        config: Optional[EngineConfig] = None,
+    ) -> RunResult:
+        config = config or EngineConfig()
+        hw = config.hardware
+        gpu = GpuDevice(hw.gpu)
+        n = self.n_gpus
+
+        units = app.n_units(data)
+        shard_units = -(-units // n)  # ceil
+        # host assembly threads are divided among the shards
+        workers_per_gpu = max(1, hw.cpu.threads // n)
+
+        shard_hw = hw
+        if self.shared_link:
+            shard_hw = replace(
+                hw, pcie=replace(hw.pcie, raw_bandwidth=hw.pcie.raw_bandwidth / n)
+            )
+
+        results = []
+        sched = None
+        remaining = units
+        for g in range(n):
+            su = min(shard_units, remaining)
+            if su <= 0:
+                break
+            remaining -= su
+            sched = self._schedule(
+                app, data, config, units=su, workers_override=workers_per_gpu
+            )
+            results.append(
+                run_pipeline(
+                    shard_hw, sched.chunks, sched.pipe_cfg, fastpath=config.fastpath
+                )
+            )
+        assert sched is not None
+
+        # devices run concurrently; the job ends when the slowest shard does
+        sim_time = max(r.total_time for r in results) + gpu.spec.kernel_launch_overhead
+
+        output = None
+        if config.functional:
+            bounds = app.chunk_bounds(data, sched.upc)
+            output = self._functional_output(app, data, bounds)
+
+        stage_totals: dict = {}
+        for r in results:
+            for k, v in r.stage_totals.items():
+                stage_totals[k] = stage_totals.get(k, 0.0) + v
+        comm = stage_totals.get(STAGE_TRANSFER, 0.0) + stage_totals.get(
+            STAGE_WRITEBACK_XFER, 0.0
+        )
+        metrics = RunMetrics(
+            n_chunks=sum(r.n_chunks for r in results),
+            bytes_h2d=sum(r.bytes_h2d for r in results),
+            bytes_d2h=sum(r.bytes_d2h for r in results),
+            comp_time=stage_totals.get(STAGE_COMPUTE, 0.0),
+            comm_time=comm,
+            stage_totals=stage_totals,
+            pattern_fraction=sched.pattern_fraction,
+            kernel_launches=len(results),  # one launch per device
+            notes={
+                "n_gpus": len(results),
+                "shared_link": self.shared_link,
+                "workers_per_gpu": workers_per_gpu,
+                "units_per_shard": shard_units,
+                "features": self.features.label,
+            },
+        )
+        return RunResult(self.name, app.name, output, sim_time, metrics)

@@ -7,6 +7,8 @@
   every execution scheme (including BigKernel) unchanged.
 * :mod:`repro.ext.multigpu` — sharding the stream across several simulated
   GPUs, each with its own pipeline (and optionally its own PCIe link).
+  Now a first-class engine in :mod:`repro.engines.multigpu`; the module
+  here is a re-export shim.
 * :mod:`repro.ext.uvm` — a fault-driven unified-memory baseline: the
   mechanism that later delivered BigKernel's programming model in the
   driver, and the historical reason this line of work was superseded.

@@ -192,3 +192,47 @@ PCIE_GEN3_X16 = PcieSpec(
 
 #: The paper's evaluation machine.
 DEFAULT_HARDWARE = HardwareSpec(gpu=GTX680, cpu=XEON_E5, pcie=PCIE_GEN3_X16)
+
+# ---------------------------------------------------------------------------
+# What-if presets for the analytic predictor (``repro report --hw ...``)
+# ---------------------------------------------------------------------------
+
+#: Named machine variants for instant what-if reports. ``paper`` is the
+#: evaluation testbed above; the others perturb one axis at a time so the
+#: predicted bottleneck shift is attributable.
+HW_PRESETS: dict[str, HardwareSpec] = {
+    "paper": DEFAULT_HARDWARE,
+    # half / double the interconnect (PCIe Gen2 x16 ≈ 8 GB/s raw,
+    # Gen4 x16 ≈ 31.5 GB/s raw)
+    "pcie-gen2": replace(
+        DEFAULT_HARDWARE,
+        pcie=replace(PCIE_GEN3_X16, name="PCIe Gen2 x16", raw_bandwidth=8 * GB),
+    ),
+    "pcie-gen4": replace(
+        DEFAULT_HARDWARE,
+        pcie=replace(PCIE_GEN3_X16, name="PCIe Gen4 x16", raw_bandwidth=31.5 * GB),
+    ),
+    # twice the SMs and DRAM bandwidth: does the pipeline stay
+    # transfer-bound or flip to assembly-bound?
+    "big-gpu": DEFAULT_HARDWARE.scaled(
+        name="2x GTX 680 class", num_sms=16, mem_bandwidth=384 * GB
+    ),
+    # half the per-thread host bandwidth: stresses the assembly stage
+    "slow-cpu": replace(
+        DEFAULT_HARDWARE,
+        cpu=replace(
+            XEON_E5, name="half-bandwidth host", per_thread_bandwidth=6 * GB
+        ),
+    ),
+}
+
+
+def get_hardware(name: str) -> HardwareSpec:
+    """Look up a what-if preset by name (see :data:`HW_PRESETS`)."""
+    try:
+        return HW_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown hardware preset {name!r}; available: "
+            + ", ".join(sorted(HW_PRESETS))
+        ) from None

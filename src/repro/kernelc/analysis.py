@@ -35,6 +35,7 @@ from repro.kernelc.ir import (
     ResidentStore,
     Stmt,
     Store,
+    UnOp,
     Var,
     While,
     WriteBufStore,
@@ -584,3 +585,75 @@ def _check_resident_hazards(body, resident_kinds: dict, reasons: list) -> None:
                     f"multiple float AtomicAdd statements to {array!r} "
                     "without residue-disjoint slots"
                 )
+
+
+# --------------------------------------------------------------------------
+# static intensity census (roofline reporting)
+
+
+@dataclass(frozen=True)
+class KernelIntensity:
+    """Static census of one kernel's IR, per record-loop iteration.
+
+    Counts are *static* (program text, not execution counts): the analytic
+    predictor gets its dynamic op/byte ratios from the app's
+    ``AccessProfile``; this census is the structural view ``repro report``
+    prints next to them — how many arithmetic nodes, mapped/resident
+    accesses and control constructs the kernel body contains.
+    """
+
+    arithmetic_ops: int
+    mapped_loads: int
+    mapped_stores: int
+    resident_loads: int
+    resident_stores: int
+    atomic_adds: int
+    emitted_addresses: int
+    branches: int
+    loops: int
+
+    @property
+    def mapped_accesses(self) -> int:
+        return self.mapped_loads + self.mapped_stores
+
+    @property
+    def resident_accesses(self) -> int:
+        return self.resident_loads + self.resident_stores + self.atomic_adds
+
+
+def kernel_intensity(kernel: Kernel) -> KernelIntensity:
+    """Walk ``kernel``'s IR once and count its structural features."""
+    ops = loads = stores = rloads = rstores = atomics = emits = 0
+    branches = loops = 0
+    for stmt in walk_stmts(kernel.body):
+        if isinstance(stmt, If):
+            branches += 1
+        elif isinstance(stmt, (For, While)):
+            loops += 1
+        elif isinstance(stmt, Store):
+            stores += 1
+        elif isinstance(stmt, ResidentStore):
+            rstores += 1
+        elif isinstance(stmt, AtomicAdd):
+            atomics += 1
+        elif isinstance(stmt, EmitAddress):
+            emits += 1
+        for root in stmt_exprs(stmt):
+            for e in walk_exprs(root):
+                if isinstance(e, (BinOp, UnOp, Call)):
+                    ops += 1
+                elif isinstance(e, Load):
+                    loads += 1
+                elif isinstance(e, ResidentLoad):
+                    rloads += 1
+    return KernelIntensity(
+        arithmetic_ops=ops,
+        mapped_loads=loads,
+        mapped_stores=stores,
+        resident_loads=rloads,
+        resident_stores=rstores,
+        atomic_adds=atomics,
+        emitted_addresses=emits,
+        branches=branches,
+        loops=loops,
+    )

@@ -9,10 +9,13 @@ Three pillars, each usable on its own:
 * :mod:`repro.verify.fuzz` — seeded random IR programs and pipeline
   schedules through the compiler round trip and the invariant checkers.
 
-A fourth, opt-in pillar (``python -m repro verify --fastpath``) checks
-the analytic steady-state pipeline (:mod:`repro.runtime.fastpath`)
-against the DES across the full app x engine matrix — totals must agree
-within 1e-9.
+Opt-in pillars extend the sweep: ``--fastpath`` checks the analytic
+steady-state pipeline (:mod:`repro.runtime.fastpath`) against the DES
+across the full app x engine matrix (totals within 1e-9), ``--compiled``
+checks the vectorized kernel backend against the interpreter, and
+``--analytic`` checks the closed-form performance predictor
+(:mod:`repro.analytic`) against the DES at 5% relative tolerance over
+the clean matrix plus fuzzed geometries.
 
 ``python -m repro verify`` (see :mod:`repro.verify.runner`) runs the
 suites and exits nonzero on any violation. Opt-in hooks:
@@ -21,10 +24,13 @@ and ``BenchSettings(check_invariants=True)``.
 """
 
 from repro.verify.differential import (
+    AnalyticEntry,
+    AnalyticReport,
     DiffEntry,
     DifferentialReport,
     FastpathEntry,
     FastpathReport,
+    run_analytic_differential,
     run_differential,
     run_fastpath_differential,
 )
@@ -56,10 +62,13 @@ __all__ = [
     "check_byte_conservation",
     "verify_pipeline_trace",
     "verify_run",
+    "AnalyticEntry",
+    "AnalyticReport",
     "DiffEntry",
     "DifferentialReport",
     "FastpathEntry",
     "FastpathReport",
+    "run_analytic_differential",
     "run_differential",
     "run_fastpath_differential",
     "FuzzFailure",

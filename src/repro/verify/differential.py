@@ -532,3 +532,158 @@ def run_compiled_differential(
             )
         )
     return report
+
+
+# --------------------------------------------------------------------------
+# analytic-vs-des mode: the closed-form predictor against the simulator
+# --------------------------------------------------------------------------
+
+#: relative tolerance for predictor-vs-DES totals. The predictor's bound
+#: family is exact (machine epsilon) on almost every cell; the tolerance
+#: absorbs the few cells where a bound is a certified *lower* envelope of
+#: a DES artifact (e.g. kmeans gpu_double drain interleaving, ~1.3e-2).
+ANALYTIC_TOL = 5e-2
+
+
+@dataclass
+class AnalyticEntry:
+    """One (app, engine, geometry) cell of the predictor-vs-DES matrix."""
+
+    app: str
+    engine: str
+    ok: bool
+    predicted: float = 0.0
+    simulated: float = 0.0
+    fuzzed: bool = False
+    detail: str = ""
+
+    @property
+    def rel_err(self) -> float:
+        scale = max(abs(self.simulated), 1e-300)
+        return abs(self.predicted - self.simulated) / scale
+
+
+@dataclass
+class AnalyticReport:
+    """Structured outcome of one predictor-vs-DES sweep."""
+
+    entries: list[AnalyticEntry] = field(default_factory=list)
+    tol: float = ANALYTIC_TOL
+
+    @property
+    def mismatches(self) -> list[AnalyticEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def worst(self) -> float:
+        return max((e.rel_err for e in self.entries), default=0.0)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        fuzz_cells = sum(1 for e in self.entries if e.fuzzed)
+        lines = [
+            f"analytic vs des: {len(self.entries)} cells "
+            f"({fuzz_cells} fuzzed geometries), "
+            f"{len(self.mismatches)} over tolerance, "
+            f"worst rel err {self.worst:.2e} (tol {self.tol:g})"
+        ]
+        for e in self.entries:
+            status = "ok" if e.ok else "OVER-TOL"
+            mode = "fuzz" if e.fuzzed else "clean"
+            line = (
+                f"  {e.app:12s} x {e.engine:12s} {status} [{mode}] "
+                f"rel {e.rel_err:.2e}"
+            )
+            if e.detail:
+                line += f" — {e.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(f"({e.app}, {e.engine})" for e in self.mismatches)
+            raise VerificationError(
+                f"analytic-vs-des over tolerance in {named}\n{self.summary()}"
+            )
+
+
+def run_analytic_differential(
+    data_bytes: int = 2 * MiB,
+    seed: int = 7,
+    config: Optional[EngineConfig] = None,
+    apps: Optional[Iterable] = None,
+    tol: float = ANALYTIC_TOL,
+    fuzz_iterations: int = 8,
+) -> AnalyticReport:
+    """Validate the closed-form predictor against the DES.
+
+    Two phases. The *clean matrix* prices every app on every predictable
+    engine at the base geometry and runs the same configuration through
+    the engine with the fast path disabled (a true event-by-event
+    simulation); each cell's relative error must stay within ``tol``.
+    The *fuzz loop* then draws ``fuzz_iterations`` random geometries
+    (chunk bytes, block count, ring depth) for the pipelined engines
+    (``bigkernel``/``gpu_double`` — the ones whose totals actually move
+    with geometry) from ``random.Random(f"analytic-{seed}")`` and holds
+    them to the same tolerance.
+
+    Runs are non-functional (``functional=False``): the predictor prices
+    the timeline only, so the kernels need not execute.
+    """
+    import random
+
+    from repro.analytic import PREDICTABLE_ENGINES, predict_run, resolve_engine
+
+    config = config or EngineConfig(chunk_bytes=512 * 1024)
+    config = config.with_(functional=False, fastpath=False)
+    apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
+    datasets = {
+        app.name: app.generate(n_bytes=data_bytes, seed=seed) for app in apps
+    }
+
+    report = AnalyticReport(tol=tol)
+
+    def check(app, engine_name, cfg, fuzzed, detail=""):
+        data = datasets[app.name]
+        predicted = predict_run(app, data, cfg, engine=engine_name).sim_time
+        simulated = resolve_engine(engine_name).run(app, data, cfg).sim_time
+        entry = AnalyticEntry(
+            app=app.name,
+            engine=engine_name,
+            ok=True,
+            predicted=predicted,
+            simulated=simulated,
+            fuzzed=fuzzed,
+            detail=detail,
+        )
+        entry.ok = entry.rel_err <= tol
+        report.entries.append(entry)
+
+    for app in apps:
+        for engine_name in PREDICTABLE_ENGINES:
+            check(app, engine_name, config, fuzzed=False)
+
+    rng = random.Random(f"analytic-{seed}")
+    for _ in range(fuzz_iterations):
+        app = rng.choice(apps)
+        engine_name = rng.choice(["bigkernel", "gpu_double"])
+        cfg = config.with_(
+            chunk_bytes=rng.choice([64, 128, 256, 512, 1024, 2048]) * 1024,
+            num_blocks=rng.choice([4, 8, 16, 32]),
+            ring_depth=rng.randint(2, 6),
+            compute_threads=32 * rng.randint(1, 16),
+        )
+        check(
+            app,
+            engine_name,
+            cfg,
+            fuzzed=True,
+            detail=(
+                f"cb={cfg.chunk_bytes // 1024}K nb={cfg.num_blocks} "
+                f"rd={cfg.ring_depth} ct={cfg.compute_threads}"
+            ),
+        )
+    return report

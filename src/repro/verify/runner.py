@@ -16,6 +16,10 @@ in one pass/fail sweep.
    vectorized NumPy backend vs the tree-walking interpreter: outputs at
    1e-9 (rtol 0), InterpStats counters and addr-gen address streams exact,
    and analysis verdicts matching each app's declared expectation.
+7. **Analytic suite** (``--analytic``) — the closed-form performance
+   predictor (:mod:`repro.analytic`) vs the DES: every app on every
+   predictable engine at the base geometry, plus fuzzed chunk/ring
+   geometries, each cell within 5% relative error (most are exact).
 
 ``--quick`` shrinks the datasets and iteration counts to CI scale.
 """
@@ -35,9 +39,11 @@ from repro.engines import (
 from repro.runtime.pipeline import run_pipeline_per_block
 from repro.units import MiB
 from repro.verify.differential import (
+    AnalyticReport,
     CompiledReport,
     DifferentialReport,
     FastpathReport,
+    run_analytic_differential,
     run_compiled_differential,
     run_differential,
     run_fastpath_differential,
@@ -60,6 +66,7 @@ class VerifySummary:
     fuzz: Optional[FuzzReport] = None
     fastpath: Optional[FastpathReport] = None
     compiled: Optional[CompiledReport] = None
+    analytic: Optional[AnalyticReport] = None
 
     @property
     def ok(self) -> bool:
@@ -70,6 +77,7 @@ class VerifySummary:
             and (self.fuzz is None or self.fuzz.ok)
             and (self.fastpath is None or self.fastpath.ok)
             and (self.compiled is None or self.compiled.ok)
+            and (self.analytic is None or self.analytic.ok)
         )
 
     def summary(self) -> str:
@@ -94,6 +102,8 @@ class VerifySummary:
             lines.append(self.fastpath.summary())
         if self.compiled is not None:
             lines.append(self.compiled.summary())
+        if self.analytic is not None:
+            lines.append(self.analytic.summary())
         lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -105,6 +115,7 @@ def run_verify(
     fuzz_iterations: Optional[int] = None,
     fastpath: bool = False,
     compiled: bool = False,
+    analytic: bool = False,
     emit: Callable[[str], None] = print,
 ) -> VerifySummary:
     """Run the full verification sweep; ``emit`` narrates progress.
@@ -113,6 +124,9 @@ def run_verify(
     app x engine matrix with the analytic pipeline allowed vs DES forced,
     asserting the totals agree within 1e-9. ``compiled=True`` appends the
     compiled-vs-interpreter differential over every app's kernel.
+    ``analytic=True`` appends the closed-form-predictor-vs-DES
+    differential: the clean app x engine matrix plus fuzzed geometries,
+    within 5% relative tolerance per cell.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
@@ -121,7 +135,11 @@ def run_verify(
     # the invariant checkers consume full timelines, which the analytic
     # fast path deliberately skips: pin the DES for pillar 1
     traced_config = config.with_(fastpath=False)
-    n_pillars = 4 + (1 if fastpath else 0) + (1 if compiled else 0)
+    n_pillars = (
+        4 + (1 if fastpath else 0) + (1 if compiled else 0)
+        + (1 if analytic else 0)
+    )
+    pillar = iter(range(5, n_pillars + 1))
     summary = VerifySummary()
 
     emit(
@@ -169,8 +187,8 @@ def run_verify(
 
     if fastpath:
         emit(
-            f"[5/{n_pillars}] fastpath suite: analytic pipeline vs DES, "
-            f"full app x engine matrix"
+            f"[{next(pillar)}/{n_pillars}] fastpath suite: analytic "
+            f"pipeline vs DES, full app x engine matrix"
         )
         summary.fastpath = run_fastpath_differential(
             data_bytes=data_bytes, seed=seed, config=config
@@ -178,11 +196,25 @@ def run_verify(
 
     if compiled:
         emit(
-            f"[{n_pillars}/{n_pillars}] compiled suite: vectorized backend "
-            f"vs interpreter over {len(ALL_APPS)} apps"
+            f"[{next(pillar)}/{n_pillars}] compiled suite: vectorized "
+            f"backend vs interpreter over {len(ALL_APPS)} apps"
         )
         summary.compiled = run_compiled_differential(
             data_bytes=data_bytes, seed=seed
+        )
+
+    if analytic:
+        fuzz_geoms = 6 if quick else 12
+        emit(
+            f"[{next(pillar)}/{n_pillars}] analytic suite: closed-form "
+            f"predictor vs DES, clean matrix + {fuzz_geoms} fuzzed "
+            f"geometries"
+        )
+        summary.analytic = run_analytic_differential(
+            data_bytes=data_bytes,
+            seed=seed,
+            config=config,
+            fuzz_iterations=fuzz_geoms,
         )
     return summary
 

@@ -62,6 +62,97 @@ class TestSweep:
         with pytest.raises(ReproError):
             SweepResult([]).best
 
+    def test_unknown_mode_raises(self, workload):
+        app, data = workload
+        with pytest.raises(ReproError):
+            sweep(
+                BigKernelEngine(), app, data, EngineConfig(), DEFAULT_GRID,
+                mode="oracle",
+            )
+
+
+GRID_16 = {
+    "chunk_bytes": [256 * 1024, 512 * 1024, 1 * MiB, 2 * MiB],
+    "num_blocks": [8, 16, 32, 64],
+}
+
+
+class TestSweepModes:
+    """mode="analytic" / mode="hybrid" against the pure-DES sweep."""
+
+    @pytest.fixture(scope="class")
+    def fast_workload(self):
+        app = get_app("wordcount")
+        return app, app.generate(n_bytes=2 * MiB, seed=7)
+
+    def test_hybrid_matches_des_on_16_point_grid(self, fast_workload):
+        app, data = fast_workload
+        base = EngineConfig(functional=False)
+        pure = sweep(BigKernelEngine(), app, data, base, GRID_16)
+        hybrid = sweep(
+            BigKernelEngine(), app, data, base, GRID_16,
+            mode="hybrid", top_k=4,
+        )
+        assert hybrid.best.params == pure.best.params
+        assert hybrid.best.sim_time == pure.best.sim_time
+        assert len(hybrid.points) < len(pure.points)
+
+    def test_hybrid_determinism_on_plateau_ties(self, fast_workload):
+        """On a plateau (CPU-insensitive knob producing bitwise-equal
+        predictions) hybrid must keep every tied candidate and break the
+        tie exactly like the pure-DES sweep: toward the smallest
+        footprint, then grid order."""
+        app, data = fast_workload
+        base = EngineConfig(functional=False)
+        # ring_depth beyond the chunk count is a plateau: every point
+        # prices (and simulates) identically
+        grid = {"ring_depth": [2, 3, 4, 5, 6, 7, 8, 9]}
+        pure = sweep(BigKernelEngine(), app, data, base, grid)
+        hybrid = sweep(
+            BigKernelEngine(), app, data, base, grid,
+            mode="hybrid", top_k=1,
+        )
+        times = {p.sim_time for p in pure.points}
+        if len(times) == 1:  # confirmed plateau: ties expand past top_k
+            assert len(hybrid.points) == len(pure.points)
+        assert hybrid.best.params == pure.best.params
+        assert hybrid.best.sim_time == pure.best.sim_time
+
+    def test_analytic_mode_orders_like_des(self, fast_workload):
+        app, data = fast_workload
+        base = EngineConfig(functional=False)
+        pure = sweep(BigKernelEngine(), app, data, base, GRID_16)
+        ana = sweep(
+            BigKernelEngine(), app, data, base, GRID_16, mode="analytic"
+        )
+        assert len(ana.points) == len(pure.points)
+        assert all(p.result is None for p in ana.points)
+        assert ana.best.params == pure.best.params
+
+    def test_hybrid_small_grid_degenerates_to_des(self, fast_workload):
+        app, data = fast_workload
+        base = EngineConfig(functional=False)
+        grid = {"chunk_bytes": [512 * 1024, 1 * MiB]}
+        pure = sweep(BigKernelEngine(), app, data, base, grid)
+        hybrid = sweep(
+            BigKernelEngine(), app, data, base, grid, mode="hybrid", top_k=8
+        )
+        assert [(p.params, p.sim_time) for p in hybrid.points] == [
+            (p.params, p.sim_time) for p in pure.points
+        ]
+
+    def test_autotune_threads_mode_through(self, fast_workload):
+        app, data = fast_workload
+        base = EngineConfig(functional=False)
+        cfg_des, _ = autotune(BigKernelEngine(), app, data, base)
+        cfg_hyb, res = autotune(
+            BigKernelEngine(), app, data, base, mode="hybrid", top_k=3
+        )
+        assert cfg_hyb == cfg_des
+        assert len(res.points) <= len(DEFAULT_GRID["chunk_bytes"]) * len(
+            DEFAULT_GRID["num_blocks"]
+        )
+
 
 class TestAutotune:
     def test_autotuned_config_at_least_as_fast(self, workload):

@@ -77,6 +77,26 @@ class TestMultiGpu:
         with pytest.raises(RuntimeConfigError):
             MultiGpuBigKernelEngine(0)
 
+    def test_deprecated_shim_reexports_engine_class(self):
+        """repro.ext.multigpu is a shim over repro.engines.multigpu."""
+        import repro.engines
+        import repro.engines.multigpu as canonical
+        import repro.ext.multigpu as shim
+
+        assert shim.MultiGpuBigKernelEngine is canonical.MultiGpuBigKernelEngine
+        assert shim.MultiGpuBigKernelEngine is repro.engines.MultiGpuBigKernelEngine
+        assert shim.__all__ == ["MultiGpuBigKernelEngine"]
+        assert "Deprecated location" in (shim.__doc__ or "")
+
+    def test_analytic_predictor_rejects_multigpu(self):
+        """The closed-form predictor models single-device pipelines only;
+        the sharded engine must be rejected explicitly, not mispriced."""
+        from repro.analytic import resolve_engine
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            resolve_engine(MultiGpuBigKernelEngine(2))
+
     def test_writer_app_works(self):
         app = get_app("kmeans")
         data = app.generate(n_bytes=4 * MiB, seed=5)
