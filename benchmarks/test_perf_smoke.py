@@ -275,6 +275,57 @@ def test_uvm_comparison():
     _record(entry)
 
 
+def test_multigpu_scaling():
+    """1→8 GPU scaling sweep per app: the sharded scale-out engine
+    (``repro bench --gpus``).
+
+    Every cell runs through the true DES with each shard's trace audited
+    by the pipeline invariant battery, every K-GPU merged output is
+    cross-checked bit-equal against the single-GPU run (the harness hard
+    asserts both), and the closed-form shard model prices every cell.
+    The scaling-shape facts are simulated-time facts, deterministic on
+    any box, so they are hard asserts too: compute-bound apps gain from
+    a second GPU, a shared root complex never beats dedicated links, and
+    the analytic predictions stay within the published tolerance.
+    """
+    from repro.bench.multigpu import run_multigpu_scaling
+    from repro.engines.multigpu import MultiGpuBigKernelEngine
+    from repro.verify.differential import ANALYTIC_TOL
+
+    t0 = time.perf_counter()
+    scaling = run_multigpu_scaling(
+        gpu_counts=(1, 2, 4, 8), verify_shards=True, predict=True
+    )
+    elapsed = time.perf_counter() - t0
+
+    compute_bound = ("kmeans", "wordcount", "opinion", "mastercard")
+    for app in compute_bound:
+        assert scaling.speedup(app, 2) > 1.0, app
+    worst = 0.0
+    for app in scaling.apps:
+        for n in scaling.gpu_counts:
+            worst = max(worst, scaling.prediction_rel_err(app, n))
+    assert worst <= ANALYTIC_TOL, (
+        f"analytic shard model off by {worst:.2e} somewhere in the sweep"
+    )
+    # a shared root complex never beats dedicated links (spot-check at 2)
+    app0 = scaling.apps[0]
+    app_obj = get_app(app0)
+    data = app_obj.generate(n_bytes=scaling.data_bytes, seed=scaling.seed)
+    cfg = EngineConfig(
+        chunk_bytes=max(256 * 1024, scaling.data_bytes // 4)
+    )
+    shared = MultiGpuBigKernelEngine(2, shared_link=True).run(
+        app_obj, data, cfg
+    )
+    assert shared.sim_time >= scaling.sim_time(app0, 2) * (1 - 1e-12)
+
+    entry = scaling.figure_entry()
+    entry["wall_seconds"] = elapsed
+    entry["worst_prediction_rel_err"] = worst
+    _record(entry)
+
+
 def test_kernel_exec_throughput():
     """Compiled NumPy backend vs the tree-walking interpreter on the dna
     kernel: same outputs and counters, >= 10x elements/sec expected."""

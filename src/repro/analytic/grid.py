@@ -26,7 +26,7 @@ sweeping agree on plateaus.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -35,7 +35,9 @@ from repro.apps.base import AppData, Application
 from repro.engines.base import Engine, EngineConfig
 from repro.engines.bigkernel import BigKernelEngine
 from repro.engines.gpu_common import kernel_chunk_cost
+from repro.engines.multigpu import MultiGpuBigKernelEngine
 from repro.errors import HardwareError, ReproError
+from repro.hw.topology import merge_cost, shard_mem_bandwidth, shard_workers, state_nbytes
 from repro.runtime.fastpath import FLAG_BYTES
 from repro.runtime.pattern import ADDRESS_BYTES
 
@@ -315,9 +317,111 @@ def predict_grid(
         meta["note"] = "ring_depth fixed at 2 by the engine"
         return GridPrediction(eng.name, app.name, keys, values, sim, base, meta)
 
-    # bigkernel
+    # bigkernel / bigkernel_multigpu
     assert isinstance(eng, BigKernelEngine)
-    features = eng.features
+
+    if isinstance(eng, MultiGpuBigKernelEngine):
+        fabric = eng.fabric
+        per_shard = -(-units // fabric.n_gpus)  # ceil, as the engine shards
+        shard_units = []
+        remaining = units
+        for g in range(fabric.n_gpus):
+            su = min(per_shard, remaining)
+            if su <= 0:
+                break
+            remaining -= su
+            shard_units.append((g, su))
+        n_shards = len(shard_units)
+        wk = shard_workers(cpu, fabric)
+        shared = eng.shared_link and n_shards > 1
+        x_scale = n_shards if shared else 1
+        sim = None
+        d2h_total = None
+        d2h_fill0 = None
+        bmeta: Dict[str, object] = {}
+        for g, su in shard_units:
+            bw = shard_mem_bandwidth(cpu, g, fabric)
+            s, d2h_occ, d2h_fill, bmeta = _bigkernel_grid_total(
+                app,
+                data,
+                base,
+                eng.features,
+                su,
+                cb,
+                nb,
+                ct,
+                rd,
+                workers_fixed=wk,
+                mem_bandwidth=bw,
+                x_scale=x_scale,
+            )
+            sim = s if sim is None else np.maximum(sim, s)
+            d2h_total = d2h_occ if d2h_total is None else d2h_total + d2h_occ
+            if d2h_fill0 is None:
+                d2h_fill0 = d2h_fill
+        if shared:
+            # D2H port residency: all shards' address ships + write-backs
+            # serialize on the one root-complex D2H channel
+            sim = np.maximum(
+                sim, np.where(d2h_total > 0, d2h_fill0 + d2h_total, 0.0)
+            )
+        merge = merge_cost(
+            hw,
+            fabric if n_shards == fabric.n_gpus else replace(fabric, n_gpus=n_shards),
+            state_nbytes(app.make_state(data)),
+            app.n_passes,
+        )
+        sim = sim + gpu.kernel_launch_overhead + merge
+        meta.update(bmeta)
+        meta.update(
+            n_gpus=n_shards,
+            shared_link=eng.shared_link,
+            numa_aware=eng.numa_aware,
+            workers_per_gpu=wk,
+            merge_time=merge,
+        )
+        return GridPrediction(eng.name, app.name, keys, values, sim, base, meta)
+
+    sim, _d2h_occ, _d2h_fill, bmeta = _bigkernel_grid_total(
+        app, data, base, eng.features, units, cb, nb, ct, rd
+    )
+    sim = sim + gpu.kernel_launch_overhead
+    meta.update(bmeta)
+    return GridPrediction(eng.name, app.name, keys, values, sim, base, meta)
+
+
+def _bigkernel_grid_total(
+    app: Application,
+    data: AppData,
+    base: EngineConfig,
+    features,
+    units: int,
+    cb,
+    nb,
+    ct,
+    rd,
+    workers_fixed: Optional[int] = None,
+    mem_bandwidth: Optional[float] = None,
+    x_scale: int = 1,
+):
+    """Vectorized bigkernel pipeline total for one schedule over a grid.
+
+    The plain engine derives its CPU-worker pool from occupancy
+    (``min(active_blocks, cpu.threads)``); the multi-GPU engine prices a
+    *shard* through the same model by fixing ``workers_fixed`` (its
+    per-shard worker budget), derating ``mem_bandwidth`` (the NUMA-node
+    share feeding the assembly floor) and scaling H2D transfer service by
+    ``x_scale`` (round-robin slots on a shared root-complex port).
+
+    Returns ``(sim, d2h_occupancy, d2h_fill, meta)`` — the last three feed
+    the shared-port D2H residency bound (kernel-launch overhead is *not*
+    included in ``sim``).
+    """
+    hw = base.hardware
+    gpu, cpu, pcie = hw.gpu, hw.cpu, hw.pcie
+    profile = app.access_profile(data)
+    threads = nb * ct
+    mem_bw = cpu.mem_bandwidth if mem_bandwidth is None else mem_bandwidth
     m = extract_app_model(app, data, base, features=features)
     pattern_on = bool(base.pattern_recognition and m.pattern_fraction >= 0.5)
     reduce_volume = m.reduce_volume
@@ -325,7 +429,11 @@ def predict_grid(
     upc = np.maximum(1, (cb / max(ppu, 1e-12)).astype(np.int64))
     tpl_u, eff_n_full, tail_u, has_tail = _tail_geometry(units, upc)
     active = _active_blocks(gpu, nb, ct)
-    workers = np.minimum(active, cpu.threads)
+    workers = (
+        np.minimum(active, cpu.threads)
+        if workers_fixed is None
+        else np.int64(workers_fixed)
+    )
     worker_eff = workers * cpu.mt_efficiency
     # flag_wait_overhead(2) + 2 * global_latency, as the engine prices sync
     sync = gpu.global_latency * 2 + 2 * gpu.global_latency
@@ -349,7 +457,7 @@ def predict_grid(
             addr_d2h = np.zeros_like(raw)
         if not reduce_volume:
             t_asm = raw / staging_bw / worker_eff
-            t_asm = np.maximum(t_asm, 2.0 * raw / cpu.mem_bandwidth)
+            t_asm = np.maximum(t_asm, 2.0 * raw / mem_bw)
         else:
             accesses = (
                 read_bytes / m.gather_run_bytes if pattern_on else emitted
@@ -364,7 +472,7 @@ def predict_grid(
             )
             loop_t = accesses * 6.0 / cpu.peak_ops_per_thread
             t_asm = (read_t + write_t + addr_t + loop_t) / worker_eff
-            t_asm = np.maximum(t_asm, 2.0 * read_bytes / cpu.mem_bandwidth)
+            t_asm = np.maximum(t_asm, 2.0 * read_bytes / mem_bw)
         n_ops = u_units * m.gpu_ops_per_record * m.gpu_divergence
         gbytes = u_units * (
             m.read_bytes_per_record
@@ -386,11 +494,15 @@ def predict_grid(
             ) / worker_eff
         else:
             t_sc = np.zeros_like(raw)
+        t_x = _xfer(pcie, np.floor(payload), segments=workers) + pcie.transfer_time(
+            FLAG_BYTES
+        )
+        if x_scale != 1:
+            t_x = x_scale * t_x
         return dict(
             A=t_ag + np.where(addr_d2h > 0, _xfer(pcie, addr_d2h), 0.0),
             S=t_asm,
-            X=_xfer(pcie, np.floor(payload), segments=workers)
-            + pcie.transfer_time(FLAG_BYTES),
+            X=t_x,
             C=t_comp + sync,
             WB=np.where(wb > 0, _xfer(pcie, wb, segments=workers), 0.0),
             SC=t_sc,
@@ -399,17 +511,22 @@ def predict_grid(
 
     t = kind(tpl_u)
     u = kind(tail_u)
-    sim = (
-        _pipeline_total(m, hw, t, u, eff_n_full, has_tail, depth=rd, cpu_workers=2)
-        + gpu.kernel_launch_overhead
+    cpu_workers = 2 if workers_fixed is None else workers_fixed
+    sim = _pipeline_total(
+        m, hw, t, u, eff_n_full, has_tail, depth=rd, cpu_workers=cpu_workers
     )
-    meta.update(
+    d2h_occ = m.passes * (
+        eff_n_full * (t["d_addr"] + t["WB"])
+        + np.where(has_tail, u["d_addr"] + u["WB"], 0.0)
+    )
+    d2h_fill = t["A"] - t["d_addr"]
+    bmeta = dict(
         pattern_on=pattern_on,
         pattern_fraction=m.pattern_fraction,
         reduce_volume=reduce_volume,
         features=m.feature_label,
     )
-    return GridPrediction(eng.name, app.name, keys, values, sim, base, meta)
+    return sim, d2h_occ, d2h_fill, bmeta
 
 
 def suggest_grid(

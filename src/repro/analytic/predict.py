@@ -9,13 +9,17 @@ max-plus bound family of :mod:`repro.analytic.algebra`.  No simulator
 events fire; cost is a handful of float ops regardless of chunk count.
 
 Scope: the five paper engines (``cpu_serial``, ``cpu_mt``, ``gpu_single``,
-``gpu_double``, ``bigkernel`` incl. ablation feature sets).  The UVM
-family is deliberately out of scope — demand paging's LRU page-table
-state has no per-chunk closed form (see ``docs/performance.md``).
+``gpu_double``, ``bigkernel`` incl. ablation feature sets) plus the
+multi-GPU scale-out engine (``bigkernel_multigpu``: per-shard pipeline
+bounds, a root-complex serialization bound for shared links, and the
+closed-form merge cost shared with the engine).  The UVM family is
+deliberately out of scope — demand paging's LRU page-table state has no
+per-chunk closed form (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
@@ -27,6 +31,7 @@ from repro.engines.cpu_serial import CpuSerialEngine
 from repro.engines.gpu_common import chunk_plan, kernel_chunk_cost
 from repro.engines.gpu_double import GpuDoubleBufferEngine
 from repro.engines.gpu_single import GpuSingleBufferEngine
+from repro.engines.multigpu import MultiGpuBigKernelEngine
 from repro.errors import ReproError
 from repro.hw.cpu import CpuDevice
 from repro.hw.gpu import GpuDevice
@@ -36,7 +41,14 @@ from repro.runtime.pipeline import ChunkWork, PipelineConfig
 from repro.analytic.algebra import STAGE_NAMES, STAGES6, pipeline_bounds
 
 #: engines predict_run can price in closed form
-PREDICTABLE_ENGINES = ("cpu_serial", "cpu_mt", "gpu_single", "gpu_double", "bigkernel")
+PREDICTABLE_ENGINES = (
+    "cpu_serial",
+    "cpu_mt",
+    "gpu_single",
+    "gpu_double",
+    "bigkernel",
+    "bigkernel_multigpu",
+)
 
 _ENGINE_CLASSES = {
     "cpu_serial": CpuSerialEngine,
@@ -44,7 +56,22 @@ _ENGINE_CLASSES = {
     "gpu_single": GpuSingleBufferEngine,
     "gpu_double": GpuDoubleBufferEngine,
     "bigkernel": BigKernelEngine,
+    "bigkernel_multigpu": MultiGpuBigKernelEngine,
 }
+
+#: instance names encode the fabric ("bigkernel_multigpu4_shared", ...)
+_MULTIGPU_NAME = re.compile(r"^bigkernel_multigpu(\d*)(_shared)?(_numablind)?$")
+
+
+def _multigpu_from_name(name: str) -> Optional[MultiGpuBigKernelEngine]:
+    m = _MULTIGPU_NAME.match(name)
+    if m is None:
+        return None
+    return MultiGpuBigKernelEngine(
+        n_gpus=int(m.group(1)) if m.group(1) else 2,
+        shared_link=bool(m.group(2)),
+        numa_aware=not m.group(3),
+    )
 
 
 @dataclass
@@ -72,6 +99,8 @@ class PredictedRun:
 def resolve_engine(engine: Union[str, Engine]) -> Engine:
     """Return an engine instance predict_run knows how to price."""
     if isinstance(engine, Engine):
+        if isinstance(engine, MultiGpuBigKernelEngine):
+            return engine
         cls = _ENGINE_CLASSES.get(engine.name)
         if cls is None or not isinstance(engine, cls):
             raise ReproError(
@@ -79,6 +108,9 @@ def resolve_engine(engine: Union[str, Engine]) -> Engine:
                 f"predictable: {', '.join(PREDICTABLE_ENGINES)}"
             )
         return engine
+    eng = _multigpu_from_name(engine)
+    if eng is not None:
+        return eng
     cls = _ENGINE_CLASSES.get(engine)
     if cls is None:
         raise ReproError(
@@ -158,6 +190,117 @@ def _finish_pipelined(name, app_name, total, bounds, occupancy, n_chunks):
         binding_bound=binding,
         n_chunks=n_chunks,
     )
+
+
+def _link_legs(chunks: TemplatedChunks, pcie, sync: float):
+    """One shard's total busy time on each PCIe direction.
+
+    Returns ``(h2d, d2h)``: the data+flag H2D traffic and the address-ship
+    plus write-back D2H traffic, summed over template and tail chunks —
+    exactly the residency a shard imposes on a shared root-complex port.
+    """
+    t = chunk_durations(chunks.template, pcie, sync)
+    u = chunk_durations(chunks.tail, pcie, sync) if chunks.tail is not None else t
+    n_tail = chunks.passes if chunks.tail is not None else 0
+    n_main = len(chunks) - n_tail
+    h2d = n_main * t["X"] + n_tail * u["X"]
+    d2h = n_main * (t["d_addr"] + t["WB"]) + n_tail * (u["d_addr"] + u["WB"])
+    return h2d, d2h
+
+
+def _scaled_shared_total(hw, chunks: TemplatedChunks, pipe_cfg: PipelineConfig, k: int):
+    """One shard's closed form under round-robin service on a shared port.
+
+    K symmetric shards start together, so their H2D requests interleave
+    in near-lockstep on the root-complex FIFO: a shard's data transfer is
+    served once every K slots, i.e. with effective duration ``K * X``.
+    Closing the ring recurrence with that service time captures both the
+    latency throttling of compute-bound shards (the ring stalls waiting
+    for slow transfers) and — via the X-occupancy bound — the port's
+    total H2D residency.
+    """
+    pcie = hw.pcie
+    t = chunk_durations(chunks.template, pcie, pipe_cfg.sync_overhead)
+    t["X"] *= k
+    if chunks.tail is not None:
+        u = chunk_durations(chunks.tail, pcie, pipe_cfg.sync_overhead)
+        u["X"] *= k
+        n_tail = chunks.passes
+    else:
+        u = t
+        n_tail = 0
+    total, _bounds, _occ = pipeline_bounds(
+        t,
+        u,
+        n=len(chunks),
+        n_tail=n_tail,
+        depth=pipe_cfg.ring_depth,
+        per_pass=chunks.per_pass,
+        passes=chunks.passes,
+        cpu_workers=pipe_cfg.cpu_workers,
+    )
+    return float(total)
+
+
+def _predict_multigpu(
+    app: Application,
+    data: AppData,
+    config: EngineConfig,
+    eng: MultiGpuBigKernelEngine,
+) -> PredictedRun:
+    """Price a sharded run: per-shard pipeline bounds + fabric bounds.
+
+    Dedicated links: shards share nothing in the DES, so the slowest
+    shard's closed form *is* the pipeline total (exact, as for single-GPU
+    bigkernel). A shared root-complex port adds two contention estimates:
+    each shard's ring closed with K-scaled transfer service
+    (:func:`_scaled_shared_total`) and a D2H-channel residency bound
+    (address ships + write-backs of *all* shards serialize on the one
+    D2H port). The kernel-launch overhead and the closed-form merge cost
+    (identical to the engine's ``_merge_time``) are added on top.
+    """
+    hw = config.hardware
+    plans, _ = eng._shard_plan(app, data, config)
+    per_shard = []
+    for g, _su, sched in plans:
+        total_g, bounds_g, occ_g = predict_templated(hw, sched.chunks, sched.pipe_cfg)
+        per_shard.append((g, total_g, bounds_g, occ_g, sched))
+
+    slowest = max(per_shard, key=lambda p: p[1])
+    total = slowest[1]
+    bounds = {f"shard{slowest[0]}:{k}": v for k, v in slowest[2].items()}
+    occupancy: Dict[str, float] = {}
+    for _g, _t, _b, occ_g, _s in per_shard:
+        for k, v in occ_g.items():
+            occupancy[k] = occupancy.get(k, 0.0) + v
+
+    n_shards = len(per_shard)
+    if eng.shared_link and n_shards > 1:
+        pcie = hw.pcie
+        shared_h2d = max(
+            _scaled_shared_total(hw, sched.chunks, sched.pipe_cfg, n_shards)
+            for _g, _t, _b, _o, sched in per_shard
+        )
+        bounds["shared_port_h2d"] = shared_h2d
+        total = max(total, shared_h2d)
+        d2h_sum = sum(
+            _link_legs(sched.chunks, pcie, sched.pipe_cfg.sync_overhead)[1]
+            for _g, _t, _b, _o, sched in per_shard
+        )
+        if d2h_sum > 0.0:
+            # fill: the first address ship waits for chunk 0's addr-gen
+            sched0 = per_shard[0][4]
+            t0 = chunk_durations(
+                sched0.chunks.template, pcie, sched0.pipe_cfg.sync_overhead
+            )
+            shared_d2h = (t0["A"] - t0["d_addr"]) + d2h_sum
+            bounds["shared_port_d2h"] = shared_d2h
+            total = max(total, shared_d2h)
+
+    total += hw.gpu.kernel_launch_overhead
+    total += eng._merge_time(app, data, hw, n_shards)
+    n_chunks = sum(len(sched.chunks) for _g, _t, _b, _o, sched in per_shard)
+    return _finish_pipelined(eng.name, app.name, total, bounds, occupancy, n_chunks)
 
 
 def _gpu_double_chunks(app, data, config) -> TemplatedChunks:
@@ -279,6 +422,9 @@ def predict_run(
         return _finish_pipelined(
             eng.name, app.name, total, bounds, occupancy, len(chunks)
         )
+
+    if isinstance(eng, MultiGpuBigKernelEngine):
+        return _predict_multigpu(app, data, config, eng)
 
     # bigkernel (any feature set): price the engine's own resolved schedule
     sched = eng._schedule(app, data, config)

@@ -317,6 +317,45 @@ class Application(abc.ABC):
             return bool(np.array_equal(a, b))
         return bool(a == b)
 
+    def merge_states(self, data: AppData, states: list) -> Any:
+        """Reduce per-shard states into one (the cross-GPU merge stage).
+
+        The default covers dict states of disjoint-shard accumulators:
+        bool arrays OR together (membership sets), numeric arrays sum
+        elementwise (count/moment tables starting from zeros), and
+        scalars are kept when every shard agrees (pass counters) or
+        summed otherwise. Apps whose state breaks that contract — an
+        array carried non-zero across a merge, a scalar that is neither
+        invariant nor additive — must override this (kmeans does, for
+        its ``assigned`` tally).
+        """
+        if not states:
+            raise ApplicationError("merge_states needs at least one state")
+        if len(states) == 1:
+            return states[0]
+        first = states[0]
+        if not isinstance(first, dict):
+            raise ApplicationError(
+                f"{self.name}: default merge_states only handles dict "
+                f"states; override it for {type(first).__name__} state"
+            )
+        merged: dict = {}
+        for key, head in first.items():
+            values = [s[key] for s in states]
+            if isinstance(head, np.ndarray):
+                if head.dtype == np.bool_:
+                    merged[key] = np.logical_or.reduce(values)
+                else:
+                    acc = head.copy()
+                    for v in values[1:]:
+                        acc += v
+                    merged[key] = acc
+            elif all(v == head for v in values[1:]):
+                merged[key] = head
+            else:
+                merged[key] = sum(values)
+        return merged
+
     # ------------------------------------------------------------ chunking
     def n_units(self, data: AppData) -> int:
         """Number of independently processable units (records or bytes)."""

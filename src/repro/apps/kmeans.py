@@ -91,6 +91,11 @@ class KMeansApp(Application):
     def finalize(self, data: AppData, state: Any) -> np.ndarray:
         return data.mapped["particles"]["cid"].copy()
 
+    def merge_states(self, data: AppData, states: list) -> Any:
+        # per-shard tallies are always additive — the default merge would
+        # keep a single count when balanced shards happen to agree
+        return {"assigned": sum(int(s["assigned"]) for s in states)}
+
     # ---------------------------------------------------- characterization
     def access_profile(self, data: AppData) -> AccessProfile:
         k = self.n_clusters

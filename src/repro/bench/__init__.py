@@ -28,6 +28,12 @@ from repro.bench.sweep import (
     DEFAULT_GRID,
 )
 from repro.bench.uvm import UvmComparison, run_uvm_comparison
+from repro.bench.multigpu import (
+    DEFAULT_GPU_COUNTS,
+    MultiGpuScaling,
+    run_multigpu_scaling,
+    scaling_engines,
+)
 from repro.bench import paper_data
 
 __all__ = [
@@ -52,5 +58,9 @@ __all__ = [
     "DEFAULT_GRID",
     "UvmComparison",
     "run_uvm_comparison",
+    "DEFAULT_GPU_COUNTS",
+    "MultiGpuScaling",
+    "run_multigpu_scaling",
+    "scaling_engines",
     "paper_data",
 ]

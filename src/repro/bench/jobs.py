@@ -84,8 +84,21 @@ def dataset_spec(app: Application, data: AppData) -> Optional[DatasetSpec]:
 def engine_to_spec(engine: Engine) -> Optional[EngineSpec]:
     """Identity of a stock engine, or None for custom engine types."""
     from repro.engines import ALL_ENGINES, UVM_ENGINES, BigKernelEngine
+    from repro.engines.multigpu import MultiGpuBigKernelEngine
     from repro.engines.uvm import UvmSpec
 
+    if type(engine) is MultiGpuBigKernelEngine:
+        # the fabric rides in the variant: every constructor knob that
+        # changes the timeline must survive the worker round-trip
+        variant = ":".join(
+            (
+                engine.features.label,
+                f"g{engine.n_gpus}",
+                "shared" if engine.shared_link else "dedicated",
+                "numa" if engine.numa_aware else "blind",
+            )
+        )
+        return EngineSpec(name=MultiGpuBigKernelEngine.name, variant=variant)
     if type(engine) is BigKernelEngine:
         return EngineSpec(name=engine.name, variant=engine.features.label)
     if type(engine) in UVM_ENGINES:
@@ -99,22 +112,42 @@ def engine_to_spec(engine: Engine) -> Optional[EngineSpec]:
     return None
 
 
+def _features_from_label(label: str):
+    from repro.engines import BigKernelFeatures
+
+    factory = {
+        "overlap-only": BigKernelFeatures.overlap_only,
+        "volume-reduction": BigKernelFeatures.with_reduction,
+        "full": BigKernelFeatures.full,
+        "coalesce-only": lambda: BigKernelFeatures(
+            reduce_volume=False, coalesce=True
+        ),
+    }.get(label or "full")
+    if factory is None:
+        raise ReproError(f"unknown BigKernel variant {label!r}")
+    return factory()
+
+
 def engine_from_spec(spec: EngineSpec) -> Engine:
     """Reconstruct the engine a spec names."""
-    from repro.engines import ALL_ENGINES, BigKernelEngine, BigKernelFeatures
+    from repro.engines import ALL_ENGINES, BigKernelEngine
+    from repro.engines.multigpu import MultiGpuBigKernelEngine
 
+    if spec.name == MultiGpuBigKernelEngine.name:
+        parts = spec.variant.split(":")
+        if len(parts) != 4 or not parts[1].startswith("g"):
+            raise ReproError(
+                f"malformed multi-GPU engine variant {spec.variant!r}"
+            )
+        label, gpus, link, numa = parts
+        return MultiGpuBigKernelEngine(
+            n_gpus=int(gpus[1:]),
+            features=_features_from_label(label),
+            shared_link=link == "shared",
+            numa_aware=numa == "numa",
+        )
     if spec.name == BigKernelEngine.name:
-        features = {
-            "overlap-only": BigKernelFeatures.overlap_only,
-            "volume-reduction": BigKernelFeatures.with_reduction,
-            "full": BigKernelFeatures.full,
-            "coalesce-only": lambda: BigKernelFeatures(
-                reduce_volume=False, coalesce=True
-            ),
-        }.get(spec.variant or "full")
-        if features is None:
-            raise ReproError(f"unknown BigKernel variant {spec.variant!r}")
-        return BigKernelEngine(features=features())
+        return BigKernelEngine(features=_features_from_label(spec.variant))
     from repro.engines import UVM_ENGINES
 
     for cls in UVM_ENGINES:

@@ -180,6 +180,7 @@ def cmd_verify(args) -> int:
         fastpath=args.fastpath,
         compiled=args.compiled,
         analytic=args.analytic,
+        multigpu=args.multigpu,
     )
     print(summary.summary())
     return 0 if summary.ok else 1
@@ -207,6 +208,8 @@ def cmd_chaos(args) -> int:
 def cmd_bench(args) -> int:
     from repro.bench.uvm import run_uvm_comparison
 
+    if args.gpus:
+        return _cmd_bench_multigpu(args)
     comparison = run_uvm_comparison(
         data_bytes=args.data_mib * MiB,
         seed=args.seed,
@@ -223,6 +226,35 @@ def cmd_bench(args) -> int:
     print(
         f"bigkernel beats the best unified-memory variant on "
         f"{wins}/{len(comparison.apps)} apps"
+    )
+    return 0
+
+
+def _cmd_bench_multigpu(args) -> int:
+    from repro.bench.multigpu import run_multigpu_scaling
+
+    try:
+        gpu_counts = tuple(int(tok) for tok in args.gpus.split(","))
+    except ValueError:
+        print(f"--gpus expects a comma-separated list of counts: {args.gpus!r}")
+        return 2
+    scaling = run_multigpu_scaling(
+        data_bytes=args.data_mib * MiB,
+        seed=args.seed,
+        gpu_counts=gpu_counts,
+        shared_link=args.shared_link,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    print(scaling.summary())
+    worst = max(
+        scaling.prediction_rel_err(app, n)
+        for app in scaling.apps
+        for n in scaling.gpu_counts
+    )
+    print(
+        f"analytic shard model vs DES: worst relative error "
+        f"{worst:.2e} over {len(scaling.apps) * len(scaling.gpu_counts)} cells"
     )
     return 0
 
@@ -376,6 +408,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also run the closed-form-predictor-vs-des "
                           "differential (repro.analytic against the "
                           "simulator, 5%% relative tolerance)")
+    p_v.add_argument("--multigpu", action="store_true",
+                     help="also run the sharded scale-out differential "
+                          "(multi-GPU engine vs the serial oracle, per-shard "
+                          "trace invariants, analytic shard model, fuzzed "
+                          "fabrics)")
 
     p_c = sub.add_parser(
         "chaos",
@@ -416,6 +453,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["auto", "thread", "process"],
                      help="executor for --jobs > 1 (UVM runs are DES-bound, "
                           "so auto picks process)")
+    p_b.add_argument("--gpus", default="",
+                     help="run the multi-GPU scaling sweep instead: "
+                          "comma-separated GPU counts, e.g. 1,2,4,8 "
+                          "(see docs/engines.md)")
+    p_b.add_argument("--shared-link", action="store_true",
+                     help="with --gpus: all shards behind one PCIe root "
+                          "complex instead of dedicated links")
 
     p_sw = sub.add_parser(
         "sweep", help="autotune one engine/app pair over the default grid"

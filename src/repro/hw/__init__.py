@@ -30,6 +30,15 @@ from repro.hw.pcie import PcieLink, DmaEngine, TransferRequest
 from repro.hw.cpu import CpuDevice
 from repro.hw.cache import CacheSim, analytic_hit_rate
 from repro.hw.pinned import PinnedAllocator
+from repro.hw.topology import (
+    FabricSpec,
+    merge_cost,
+    node_of_shard,
+    shard_mem_bandwidth,
+    shard_workers,
+    shards_on_node,
+    state_nbytes,
+)
 
 __all__ = [
     "GpuSpec",
@@ -55,4 +64,11 @@ __all__ = [
     "CacheSim",
     "analytic_hit_rate",
     "PinnedAllocator",
+    "FabricSpec",
+    "merge_cost",
+    "node_of_shard",
+    "shard_mem_bandwidth",
+    "shard_workers",
+    "shards_on_node",
+    "state_nbytes",
 ]

@@ -15,7 +15,11 @@ across the full app x engine matrix (totals within 1e-9), ``--compiled``
 checks the vectorized kernel backend against the interpreter, and
 ``--analytic`` checks the closed-form performance predictor
 (:mod:`repro.analytic`) against the DES at 5% relative tolerance over
-the clean matrix plus fuzzed geometries.
+the clean matrix plus fuzzed geometries, and ``--multigpu`` checks the
+sharded scale-out engine against the serial oracle across GPU counts
+and link topologies — merged outputs bit-equal, every shard's trace
+invariant-checked (:func:`~repro.verify.invariants.audit_sharded_run`),
+analytic shard predictions within tolerance, plus fuzzed fabrics.
 
 ``python -m repro verify`` (see :mod:`repro.verify.runner`) runs the
 suites and exits nonzero on any violation. Opt-in hooks:
@@ -30,9 +34,12 @@ from repro.verify.differential import (
     DifferentialReport,
     FastpathEntry,
     FastpathReport,
+    MultiGpuEntry,
+    MultiGpuReport,
     run_analytic_differential,
     run_differential,
     run_fastpath_differential,
+    run_multigpu_differential,
 )
 from repro.verify.fuzz import FuzzFailure, FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -45,6 +52,7 @@ from repro.verify.invariants import (
     check_pcie_serialization,
     check_stage_order,
     check_track_capacity,
+    audit_sharded_run,
     verify_pipeline_trace,
     verify_run,
 )
@@ -60,6 +68,7 @@ __all__ = [
     "check_stage_order",
     "check_backpressure",
     "check_byte_conservation",
+    "audit_sharded_run",
     "verify_pipeline_trace",
     "verify_run",
     "AnalyticEntry",
@@ -68,9 +77,12 @@ __all__ = [
     "DifferentialReport",
     "FastpathEntry",
     "FastpathReport",
+    "MultiGpuEntry",
+    "MultiGpuReport",
     "run_analytic_differential",
     "run_differential",
     "run_fastpath_differential",
+    "run_multigpu_differential",
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",

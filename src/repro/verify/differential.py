@@ -687,3 +687,191 @@ def run_analytic_differential(
             ),
         )
     return report
+
+
+# --------------------------------------------------------------------------
+# multi-gpu mode: the sharded scale-out engine vs the oracle, per shard
+# --------------------------------------------------------------------------
+
+#: tolerance for dedicated-link cells at the clean matrix's standard
+#: geometry: those share the exact per-shard bound family of the
+#: fastpath, so anything past noise is model drift.
+MULTIGPU_DEDICATED_TOL = 5e-3
+
+#: tolerance for shared-root-complex cells and for fuzzed corner
+#: fabrics of either link type. The shard model is a steady-state bound
+#: family: with only 2-3 chunks per shard, pipeline fill/drain and
+#: write-back interleaving on the shared port move the DES up to ~9%
+#: off the bounds (worst observed 8.9e-2, kmeans at 512 KiB / 4 shared
+#: GPUs / 64 KiB chunks — deterministic across data seeds and ring
+#: depths). Typical cells sit well under 2%.
+MULTIGPU_SHARED_TOL = 1e-1
+
+
+@dataclass
+class MultiGpuEntry:
+    """One (app, fabric) cell of the multi-GPU differential matrix."""
+
+    app: str
+    engine: str
+    ok: bool
+    detail: str = ""
+    sim_time: float = 0.0
+    #: shard traces audited in this cell
+    shards: int = 0
+    predicted: float = 0.0
+    fuzzed: bool = False
+
+    @property
+    def rel_err(self) -> float:
+        """Analytic shard prediction vs the DES total."""
+        scale = max(abs(self.sim_time), 1e-300)
+        return abs(self.predicted - self.sim_time) / scale
+
+
+@dataclass
+class MultiGpuReport:
+    """Structured outcome of one multi-GPU differential sweep."""
+
+    oracle: str = ORACLE
+    entries: list[MultiGpuEntry] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> list[MultiGpuEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def shards_audited(self) -> int:
+        return sum(e.shards for e in self.entries)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        fuzz_cells = sum(1 for e in self.entries if e.fuzzed)
+        lines = [
+            f"multigpu vs {self.oracle}: {len(self.entries)} cells "
+            f"({fuzz_cells} fuzzed fabrics, {self.shards_audited} shard "
+            f"traces audited), {len(self.mismatches)} mismatch(es)"
+        ]
+        for e in self.entries:
+            status = "ok" if e.ok else "MISMATCH"
+            mode = "fuzz" if e.fuzzed else "clean"
+            line = (
+                f"  {e.app:12s} x {e.engine:32s} {status} [{mode}] "
+                f"rel {e.rel_err:.2e}"
+            )
+            if e.detail:
+                line += f" — {e.detail}"
+            lines.append(line)
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(f"({e.app}, {e.engine})" for e in self.mismatches)
+            raise VerificationError(
+                f"multigpu differential mismatch in {named}\n{self.summary()}"
+            )
+
+
+def run_multigpu_differential(
+    data_bytes: int = 2 * MiB,
+    seed: int = 7,
+    config: Optional[EngineConfig] = None,
+    apps: Optional[Iterable] = None,
+    gpu_counts: Iterable[int] = (1, 2, 4),
+    tol: float = MULTIGPU_SHARED_TOL,
+    fuzz_iterations: int = 4,
+) -> MultiGpuReport:
+    """Validate the sharded scale-out engine against the serial oracle.
+
+    Two phases, mirroring the analytic suite. The *clean matrix* runs
+    every app across ``gpu_counts`` with dedicated links and (for K>1)
+    a shared root complex, always through the true DES. Each cell must
+    satisfy three laws at once:
+
+    * the merged output matches ``cpu_serial`` bit-for-bit — sharding
+      plus the cross-GPU merge is invisible to the result;
+    * every shard's trace passes the full pipeline invariant battery and
+      the per-shard byte ledgers sum to the run's counters
+      (:func:`repro.verify.invariants.audit_sharded_run`);
+    * the closed-form shard predictor prices the cell — dedicated links
+      within :data:`MULTIGPU_DEDICATED_TOL` (exact bound family), shared
+      links within ``tol`` (default :data:`MULTIGPU_SHARED_TOL`, sized
+      for the fill/drain corner geometries the steady-state bounds
+      cannot capture).
+
+    The *fuzz loop* then draws ``fuzz_iterations`` random fabrics (GPU
+    count, link topology, NUMA placement, chunk geometry) through
+    :func:`repro.verify.fuzz.check_multigpu_differential`, each seeded
+    ``random.Random(f"multigpu-{seed}-{case}")`` so any failure is
+    reproducible from (seed, case) alone.
+    """
+    import random
+
+    from repro.analytic import predict_run
+    from repro.engines.multigpu import MultiGpuBigKernelEngine
+    from repro.verify.fuzz import check_multigpu_differential
+    from repro.verify.invariants import audit_sharded_run
+
+    config = config or EngineConfig(chunk_bytes=512 * 1024)
+    # shard traces only exist on the true DES; totals are fastpath-identical
+    config = config.with_(fastpath=False)
+    apps = list(apps) if apps is not None else [cls() for cls in ALL_APPS]
+    oracle = CpuSerialEngine()
+    report = MultiGpuReport()
+
+    for app in apps:
+        data = app.generate(n_bytes=data_bytes, seed=seed)
+        ref = oracle.run(app, data, config)
+        for n in gpu_counts:
+            for shared in (False,) if n == 1 else (False, True):
+                eng = MultiGpuBigKernelEngine(n, shared_link=shared)
+                res = eng.run(app, data, config)
+                ok, detail = compare_outputs(app, ref.output, res.output)
+                problems = [detail] if detail else []
+                problems += audit_sharded_run(res)
+                entry = MultiGpuEntry(
+                    app=app.name,
+                    engine=eng.name,
+                    ok=True,
+                    sim_time=res.sim_time,
+                    shards=len(res.shard_details or ()),
+                    predicted=predict_run(app, data, config, eng).sim_time,
+                )
+                cell_tol = tol if shared else MULTIGPU_DEDICATED_TOL
+                if entry.rel_err > cell_tol:
+                    problems.append(
+                        f"analytic rel err {entry.rel_err:.2e} > {cell_tol:g}"
+                    )
+                entry.ok = not problems
+                entry.detail = "; ".join(problems)
+                report.entries.append(entry)
+
+    for case in range(fuzz_iterations):
+        rng = random.Random(f"multigpu-{seed}-{case}")
+        try:
+            drawn = check_multigpu_differential(rng)
+            report.entries.append(
+                MultiGpuEntry(
+                    app=drawn["app"],
+                    engine=drawn["engine"],
+                    ok=True,
+                    sim_time=drawn["sim_time"],
+                    shards=drawn["shards"],
+                    predicted=drawn["sim_time"] * (1 + drawn["rel_err"]),
+                    fuzzed=True,
+                )
+            )
+        except VerificationError as exc:
+            report.entries.append(
+                MultiGpuEntry(
+                    app="(fuzz)",
+                    engine=f"seed {seed} case {case}",
+                    ok=False,
+                    detail=str(exc),
+                    fuzzed=True,
+                )
+            )
+    return report

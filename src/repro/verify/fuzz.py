@@ -21,6 +21,12 @@ explores the same space more aggressively when it is installed):
   prefetch mode) and asserts the UVM engine's output matches the serial
   oracle, its timeline passes the invariant checkers, and its page-byte
   ledger conserves (migrated == evicted + resident, written-back == d2h).
+* :func:`check_multigpu_differential` draws a random sharded fabric
+  (GPU count, shared vs dedicated links, NUMA placement, chunk geometry)
+  and asserts the scale-out engine's merged output matches the serial
+  oracle, every shard's DES trace passes the invariant battery, the
+  per-shard byte ledgers reconcile, and the analytic shard model prices
+  the run within tolerance.
 
 :func:`run_fuzz` bundles the loops into a :class:`FuzzReport`.
 """
@@ -72,7 +78,7 @@ TMP_NAMES = ("t0", "t1", "t2")
 class FuzzFailure:
     """One failing fuzz case, reproducible from (kind, seed, case)."""
 
-    kind: str  # "ir" | "pipeline" | "uvm"
+    kind: str  # "ir" | "pipeline" | "uvm" | "multigpu"
     seed: int
     case: int
     message: str
@@ -94,6 +100,7 @@ class FuzzReport:
     ir_compiled: int = 0
     pipeline_cases: int = 0
     uvm_cases: int = 0
+    multigpu_cases: int = 0
     failures: list[FuzzFailure] = field(default_factory=list)
 
     @property
@@ -105,7 +112,9 @@ class FuzzReport:
             f"fuzz seed={self.seed}: {self.ir_cases} IR case(s) "
             f"({self.ir_sliced} sliced, {self.ir_compiled} compiled), "
             f"{self.pipeline_cases} pipeline case(s), "
-            f"{self.uvm_cases} uvm case(s), {len(self.failures)} failure(s)"
+            f"{self.uvm_cases} uvm case(s), "
+            f"{self.multigpu_cases} multigpu case(s), "
+            f"{len(self.failures)} failure(s)"
         ]
         lines += [f"  {f}" for f in self.failures[:10]]
         if len(self.failures) > 10:
@@ -464,6 +473,80 @@ def check_uvm_differential(rng: random.Random) -> None:
 
 
 # ---------------------------------------------------------------------------
+# random multi-gpu fabrics
+# ---------------------------------------------------------------------------
+
+def check_multigpu_differential(rng: random.Random) -> dict:
+    """One random sharded fabric against the serial oracle.
+
+    Draws the GPU count, link topology (dedicated per-GPU links vs one
+    shared root complex), NUMA placement mode, and chunk geometry, then
+    runs the scale-out engine as a true DES. The merged output must
+    match ``cpu_serial`` bit-for-bit, every shard's trace must pass the
+    full pipeline invariant battery with the per-shard byte ledgers
+    summing to the run's counters, and the closed-form shard predictor
+    must price the run within the analytic tolerance. Returns a small
+    description of the drawn cell for reporting.
+    """
+    from repro.analytic import predict_run
+    from repro.apps import get_app
+    from repro.engines import CpuSerialEngine, EngineConfig
+    from repro.engines.multigpu import MultiGpuBigKernelEngine
+    from repro.units import KiB, MiB
+    from repro.verify.invariants import audit_sharded_run
+
+    app = get_app(rng.choice(("netflix", "wordcount", "kmeans", "mastercard")))
+    data = app.generate(
+        n_bytes=rng.choice((512 * KiB, 1 * MiB, 2 * MiB)),
+        seed=rng.randint(0, 999),
+    )
+    engine = MultiGpuBigKernelEngine(
+        n_gpus=rng.choice((2, 3, 4, 8)),
+        shared_link=rng.random() < 0.5,
+        numa_aware=rng.random() < 0.75,
+    )
+    # shard traces only exist on the true DES (totals are identical)
+    config = EngineConfig(
+        chunk_bytes=rng.choice((64, 128, 256)) * KiB,
+        ring_depth=rng.randint(2, 5),
+        fastpath=False,
+    )
+    ref = CpuSerialEngine().run(app, data, config)
+    res = engine.run(app, data, config)
+    if not app.outputs_equal(ref.output, res.output):
+        raise VerificationError(
+            f"{engine.name} merged output diverged from {ref.engine} "
+            f"on {app.name} (chunk={config.chunk_bytes // KiB}K)"
+        )
+    problems = audit_sharded_run(res)
+    if problems:
+        raise VerificationError(
+            f"{engine.name} on {app.name}: " + "; ".join(problems)
+        )
+    predicted = predict_run(app, data, config, engine).sim_time
+    rel_err = abs(predicted - res.sim_time) / max(abs(res.sim_time), 1e-300)
+    # fuzzed fabrics are corner geometries by design (2-3 chunks per
+    # shard, numa-blind 8-GPU splits), so both link types get the
+    # fill/drain-sized tolerance rather than the clean-matrix bounds
+    from repro.verify.differential import MULTIGPU_SHARED_TOL
+
+    if rel_err > MULTIGPU_SHARED_TOL:
+        raise VerificationError(
+            f"analytic shard model off by {rel_err:.2e} "
+            f"(> {MULTIGPU_SHARED_TOL:g}) "
+            f"for {engine.name} on {app.name} "
+            f"(chunk={config.chunk_bytes // KiB}K rd={config.ring_depth})"
+        )
+    return {
+        "app": app.name,
+        "engine": engine.name,
+        "sim_time": res.sim_time,
+        "shards": len(res.shard_details),
+        "rel_err": rel_err,
+    }
+
+
+# ---------------------------------------------------------------------------
 # entry point
 # ---------------------------------------------------------------------------
 
@@ -472,6 +555,7 @@ def run_fuzz(
     pipeline_iterations: int = 25,
     seed: int = 0,
     uvm_iterations: int = 10,
+    multigpu_iterations: int = 0,
 ) -> FuzzReport:
     """Run the fuzz loops; failures carry the reproducing (seed, case)."""
     report = FuzzReport(seed=seed)
@@ -510,4 +594,11 @@ def run_fuzz(
         except VerificationError as exc:
             report.failures.append(FuzzFailure("uvm", seed, case, str(exc)))
         report.uvm_cases += 1
+    for case in range(multigpu_iterations):
+        rng = random.Random(f"multigpu-{seed}-{case}")
+        try:
+            check_multigpu_differential(rng)
+        except VerificationError as exc:
+            report.failures.append(FuzzFailure("multigpu", seed, case, str(exc)))
+        report.multigpu_cases += 1
     return report

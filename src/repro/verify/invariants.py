@@ -455,6 +455,52 @@ def verify_pipeline_trace(
     return report
 
 
+def audit_sharded_run(result, gpu_capacity: int = 2) -> list[str]:
+    """Audit a sharded (multi-GPU) run shard by shard.
+
+    Every shard's DES trace goes through the full invariant battery
+    (:func:`verify_pipeline_trace` with that shard's chunk plan, worker
+    count, ring depth, and byte totals), and the per-shard PCIe ledgers
+    must sum to the run's aggregate byte counters — sharding must
+    neither drop nor invent traffic. Returns a list of problem strings
+    (empty = clean). Requires ``result.shard_details``, which only the
+    true DES records (run with the fastpath disabled).
+    """
+    details = getattr(result, "shard_details", None)
+    if details is None:
+        return [
+            f"{result.engine}: no shard traces recorded "
+            "(run with fastpath disabled to audit shards)"
+        ]
+    problems: list[str] = []
+    total_h2d = total_d2h = 0
+    for d in details:
+        report = verify_pipeline_trace(
+            d["trace"],
+            gpu_capacity=gpu_capacity,
+            cpu_workers=d["pipe_cfg"].cpu_workers,
+            ring_depth=d["pipe_cfg"].ring_depth,
+            chunks=d["chunks"],
+            bytes_h2d=d["bytes_h2d"],
+            bytes_d2h=d["bytes_d2h"],
+        )
+        if not report.ok:
+            problems.append(f"shard {d['shard']}: {report.summary()}")
+        total_h2d += d["bytes_h2d"]
+        total_d2h += d["bytes_d2h"]
+    if total_h2d != result.metrics.bytes_h2d:
+        problems.append(
+            f"shard h2d ledgers sum to {total_h2d}, run counted "
+            f"{result.metrics.bytes_h2d}"
+        )
+    if total_d2h != result.metrics.bytes_d2h:
+        problems.append(
+            f"shard d2h ledgers sum to {total_d2h}, run counted "
+            f"{result.metrics.bytes_d2h}"
+        )
+    return problems
+
+
 def verify_run(result, config=None) -> InvariantReport:
     """Invariant-check one engine :class:`~repro.engines.base.RunResult`.
 

@@ -20,6 +20,11 @@ in one pass/fail sweep.
    predictor (:mod:`repro.analytic`) vs the DES: every app on every
    predictable engine at the base geometry, plus fuzzed chunk/ring
    geometries, each cell within 5% relative error (most are exact).
+8. **Multi-GPU suite** (``--multigpu``) — the sharded scale-out engine
+   vs the serial oracle across GPU counts and link topologies: merged
+   outputs bit-equal, every shard's DES trace invariant-checked with
+   byte ledgers reconciled, analytic shard predictions within tolerance,
+   plus fuzzed random fabrics (see ``docs/verification.md``).
 
 ``--quick`` shrinks the datasets and iteration counts to CI scale.
 """
@@ -43,10 +48,12 @@ from repro.verify.differential import (
     CompiledReport,
     DifferentialReport,
     FastpathReport,
+    MultiGpuReport,
     run_analytic_differential,
     run_compiled_differential,
     run_differential,
     run_fastpath_differential,
+    run_multigpu_differential,
 )
 from repro.verify.fuzz import FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -67,6 +74,7 @@ class VerifySummary:
     fastpath: Optional[FastpathReport] = None
     compiled: Optional[CompiledReport] = None
     analytic: Optional[AnalyticReport] = None
+    multigpu: Optional[MultiGpuReport] = None
 
     @property
     def ok(self) -> bool:
@@ -78,6 +86,7 @@ class VerifySummary:
             and (self.fastpath is None or self.fastpath.ok)
             and (self.compiled is None or self.compiled.ok)
             and (self.analytic is None or self.analytic.ok)
+            and (self.multigpu is None or self.multigpu.ok)
         )
 
     def summary(self) -> str:
@@ -104,6 +113,8 @@ class VerifySummary:
             lines.append(self.compiled.summary())
         if self.analytic is not None:
             lines.append(self.analytic.summary())
+        if self.multigpu is not None:
+            lines.append(self.multigpu.summary())
         lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -116,6 +127,7 @@ def run_verify(
     fastpath: bool = False,
     compiled: bool = False,
     analytic: bool = False,
+    multigpu: bool = False,
     emit: Callable[[str], None] = print,
 ) -> VerifySummary:
     """Run the full verification sweep; ``emit`` narrates progress.
@@ -126,7 +138,10 @@ def run_verify(
     compiled-vs-interpreter differential over every app's kernel.
     ``analytic=True`` appends the closed-form-predictor-vs-DES
     differential: the clean app x engine matrix plus fuzzed geometries,
-    within 5% relative tolerance per cell.
+    within 5% relative tolerance per cell. ``multigpu=True`` appends the
+    sharded scale-out differential: every app across GPU counts and link
+    topologies vs the serial oracle, each shard's trace invariant-checked
+    and the analytic shard model held to tolerance, plus fuzzed fabrics.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
@@ -137,7 +152,7 @@ def run_verify(
     traced_config = config.with_(fastpath=False)
     n_pillars = (
         4 + (1 if fastpath else 0) + (1 if compiled else 0)
-        + (1 if analytic else 0)
+        + (1 if analytic else 0) + (1 if multigpu else 0)
     )
     pillar = iter(range(5, n_pillars + 1))
     summary = VerifySummary()
@@ -215,6 +230,23 @@ def run_verify(
             seed=seed,
             config=config,
             fuzz_iterations=fuzz_geoms,
+        )
+
+    if multigpu:
+        gpu_counts = (1, 2) if quick else (1, 2, 4)
+        fuzz_fabrics = 2 if quick else 5
+        emit(
+            f"[{next(pillar)}/{n_pillars}] multigpu suite: sharded "
+            f"scale-out vs cpu_serial over GPU counts {gpu_counts}, "
+            f"shard traces invariant-checked, + {fuzz_fabrics} fuzzed "
+            f"fabrics"
+        )
+        summary.multigpu = run_multigpu_differential(
+            data_bytes=data_bytes,
+            seed=seed,
+            config=config,
+            gpu_counts=gpu_counts,
+            fuzz_iterations=fuzz_fabrics,
         )
     return summary
 

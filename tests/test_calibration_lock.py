@@ -215,6 +215,87 @@ class TestUvmSnapshot:
             assert got == pytest.approx(want, rel=1e-9), (app, engine)
 
 
+MULTIGPU_FABRICS = ((2, False), (4, False), (2, True))
+
+MULTIGPU_SPEEDUP_SNAPSHOT = {
+    # app: sim_time of single-GPU bigkernel over each fabric's, at
+    # SETTINGS — fabric order (2 dedicated, 4 dedicated, 2 shared).
+    # wordcount (compute-bound) scales; netflix (transfer-bound) gains
+    # little dedicated and *loses* on a shared root complex (<1.0)
+    "wordcount": (1.8604011912643605, 3.1375140235572725, 1.7420404917683612),
+    "netflix": (1.249574276435079, 1.377781449096546, 0.8465236506230058),
+}
+
+MULTIGPU_SIM_TIME_SNAPSHOT = {
+    # app: sim_time per fabric at SETTINGS, exact to the double — the
+    # shard/contention/merge model must not move at all
+    "wordcount": (0.002747875750895302, 0.0016293636560757037,
+                  0.0029345766327295167),
+    "netflix": (0.00045428528450466773, 0.0004120125191497233,
+                0.0006705816255248721),
+}
+
+
+class TestMultiGpuSnapshot:
+    """Exact regression pin of the multi-GPU scale-out calibration.
+
+    Two representative apps — compute-bound wordcount (scales) and
+    transfer-bound netflix (plateaus dedicated, regresses shared) — on
+    three fabrics. The scaling shape is part of the reproduction's
+    claims (``repro bench --gpus``), so a contention/NUMA/merge model
+    change that shifts it fails here first; the analytic shard model is
+    additionally held to its published tolerance on every pinned cell.
+    """
+
+    @pytest.fixture(scope="class")
+    def multigpu_runs(self):
+        from repro.apps import get_app
+        from repro.engines.multigpu import MultiGpuBigKernelEngine
+
+        runs = {}
+        for app_name in sorted(MULTIGPU_SIM_TIME_SNAPSHOT):
+            app = get_app(app_name)
+            data = app.generate(n_bytes=SETTINGS.data_bytes, seed=SETTINGS.seed)
+            for n, shared in MULTIGPU_FABRICS:
+                eng = MultiGpuBigKernelEngine(n, shared_link=shared)
+                runs[(app_name, n, shared)] = (app, data, eng)
+        return runs
+
+    @pytest.mark.parametrize("app", sorted(MULTIGPU_SPEEDUP_SNAPSHOT))
+    def test_scaling_ratios(self, matrix, multigpu_runs, app):
+        expected = MULTIGPU_SPEEDUP_SNAPSHOT[app]
+        base = matrix.get(app, "bigkernel").sim_time
+        for (n, shared), want in zip(MULTIGPU_FABRICS, expected):
+            a, data, eng = multigpu_runs[(app, n, shared)]
+            got = base / eng.run(a, data, SETTINGS.config).sim_time
+            assert got == pytest.approx(want, rel=5e-3), (app, n, shared)
+
+    @pytest.mark.parametrize("app", sorted(MULTIGPU_SIM_TIME_SNAPSHOT))
+    def test_sim_times_exact(self, multigpu_runs, app):
+        expected = MULTIGPU_SIM_TIME_SNAPSHOT[app]
+        for (n, shared), want in zip(MULTIGPU_FABRICS, expected):
+            a, data, eng = multigpu_runs[(app, n, shared)]
+            got = eng.run(a, data, SETTINGS.config).sim_time
+            assert got == pytest.approx(want, rel=1e-9), (app, n, shared)
+
+    @pytest.mark.parametrize("app", sorted(MULTIGPU_SIM_TIME_SNAPSHOT))
+    def test_analytic_shard_model_within_tolerance(self, multigpu_runs, app):
+        from repro.analytic import predict_run
+        from repro.verify.differential import (
+            ANALYTIC_TOL,
+            MULTIGPU_DEDICATED_TOL,
+        )
+
+        for n, shared in MULTIGPU_FABRICS:
+            a, data, eng = multigpu_runs[(app, n, shared)]
+            simulated = eng.run(a, data, SETTINGS.config).sim_time
+            predicted = predict_run(a, data, SETTINGS.config, eng).sim_time
+            tol = ANALYTIC_TOL if shared else MULTIGPU_DEDICATED_TOL
+            assert predicted == pytest.approx(simulated, rel=tol), (
+                app, n, shared,
+            )
+
+
 PREDICTOR_RATIO_SNAPSHOT = {
     # app: (bigkernel, gpu_double) predicted-over-DES sim_time ratio at
     # SETTINGS — the closed-form predictor is machine-exact on almost

@@ -88,14 +88,30 @@ class TestMultiGpu:
         assert shim.__all__ == ["MultiGpuBigKernelEngine"]
         assert "Deprecated location" in (shim.__doc__ or "")
 
-    def test_analytic_predictor_rejects_multigpu(self):
-        """The closed-form predictor models single-device pipelines only;
-        the sharded engine must be rejected explicitly, not mispriced."""
-        from repro.analytic import resolve_engine
-        from repro.errors import ReproError
+    def test_analytic_predictor_prices_multigpu(self, workload):
+        """The closed-form predictor knows the shard model: dedicated-link
+        configurations price exactly (same per-shard bound family as the
+        DES fastpath), shared-link ones within the 5% analytic tolerance."""
+        from repro.analytic import predict_run, resolve_engine
 
-        with pytest.raises(ReproError):
-            resolve_engine(MultiGpuBigKernelEngine(2))
+        app, data = workload
+        for n, shared, tol in [(2, False, 1e-9), (4, False, 1e-9), (2, True, 0.05)]:
+            eng = MultiGpuBigKernelEngine(n, shared_link=shared)
+            assert resolve_engine(eng) is eng
+            res = eng.run(app, data, CFG)
+            pred = predict_run(app, data, CFG, eng)
+            assert pred.engine == eng.name
+            assert pred.sim_time == pytest.approx(res.sim_time, rel=tol)
+
+    def test_analytic_resolves_multigpu_names(self):
+        """Instance names round-trip through the string resolver."""
+        from repro.analytic import resolve_engine
+
+        eng = resolve_engine("bigkernel_multigpu4_shared_numablind")
+        assert isinstance(eng, MultiGpuBigKernelEngine)
+        assert eng.n_gpus == 4 and eng.shared_link and not eng.numa_aware
+        assert eng.name == "bigkernel_multigpu4_shared_numablind"
+        assert resolve_engine("bigkernel_multigpu").n_gpus == 2
 
     def test_writer_app_works(self):
         app = get_app("kmeans")

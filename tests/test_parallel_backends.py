@@ -115,6 +115,59 @@ class TestJobSpecs:
         data.meta.pop("datagen")
         assert dataset_spec(app, data) is None
 
+    def test_multigpu_engine_spec_roundtrips_full_config(self):
+        """Every fabric knob that changes the timeline must survive the
+        worker round-trip — a stale variant here would silently reprice
+        cells under the process backend."""
+        from repro.engines.multigpu import MultiGpuBigKernelEngine
+
+        for n, features, shared, numa in (
+            (2, BigKernelFeatures.full(), False, True),
+            (4, BigKernelFeatures.overlap_only(), True, True),
+            (8, BigKernelFeatures.with_reduction(), True, False),
+            (3, BigKernelFeatures.full(), False, False),
+        ):
+            engine = MultiGpuBigKernelEngine(
+                n_gpus=n,
+                features=features,
+                shared_link=shared,
+                numa_aware=numa,
+            )
+            rebuilt = engine_from_spec(engine_to_spec(engine))
+            assert type(rebuilt) is MultiGpuBigKernelEngine
+            assert rebuilt.n_gpus == n
+            assert rebuilt.features == features
+            assert rebuilt.shared_link == shared
+            assert rebuilt.numa_aware == numa
+            assert rebuilt.name == engine.name
+            assert rebuilt.cache_key == engine.cache_key
+
+    def test_multigpu_malformed_variant_rejected(self):
+        from repro.bench.jobs import EngineSpec
+        from repro.engines.multigpu import MultiGpuBigKernelEngine
+
+        with pytest.raises(ReproError):
+            engine_from_spec(
+                EngineSpec(name=MultiGpuBigKernelEngine.name, variant="full")
+            )
+
+    def test_run_jobspec_matches_direct_multigpu_run(self):
+        """A multi-GPU cell replayed by a pool worker is bit-identical —
+        sim_time, byte counters, and merged output — to the direct run."""
+        from repro.engines.multigpu import MultiGpuBigKernelEngine
+
+        app = get_app("wordcount")
+        data = app.generate(n_bytes=1 * MiB, seed=9)
+        engine = MultiGpuBigKernelEngine(3, shared_link=True, numa_aware=False)
+        cfg = EngineConfig(chunk_bytes=256 * 1024)
+        spec = JobSpec(dataset_spec(app, data), engine_to_spec(engine), cfg)
+        replayed = run_jobspec(spec)
+        direct = engine.run(app, data, cfg)
+        assert replayed.sim_time == direct.sim_time
+        assert replayed.metrics.bytes_h2d == direct.metrics.bytes_h2d
+        assert replayed.metrics.bytes_d2h == direct.metrics.bytes_d2h
+        assert app.outputs_equal(direct.output, replayed.output)
+
 
 class TestSweepBackendEquivalence:
     GRID = {"chunk_bytes": [512 * 1024, 1 * MiB], "num_blocks": [8, 16]}
