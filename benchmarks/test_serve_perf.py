@@ -1,0 +1,66 @@
+"""Perf smoke: serving throughput vs the naive one-job-at-a-time loop.
+
+Runs ``repro.bench.serve.run_serve_benchmark`` — a ~60-request
+repeat-heavy multi-tenant trace served at three load levels — and records
+the measurements as the ``serve_throughput`` entry in
+``BENCH_pipeline.json``.
+
+Unlike the other perf-smoke thresholds, the speedup here IS a hard
+assert: both sides of the ratio are wall-clock on the same box in the
+same process, so machine noise largely divides out, and the mechanism
+behind the gap (cache short-circuit + batching + template reuse) is
+deterministic. The expected ratio is ~10x or more; the assert keeps a
+wide margin at 3x. Bit-equality of every served response against its
+one-shot oracle and rejection behavior under overload are exact
+properties and assert at full strength.
+"""
+
+import json
+from pathlib import Path
+
+from repro.bench.serve import run_serve_benchmark
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_pipeline.json"
+
+HARD_SPEEDUP = 3.0
+
+
+def _record(entry: dict) -> None:
+    entries = []
+    if BENCH_FILE.exists():
+        entries = json.loads(BENCH_FILE.read_text())
+    entries = [e for e in entries if e["name"] != entry["name"]]
+    entries.append(entry)
+    BENCH_FILE.write_text(json.dumps(entries, indent=2) + "\n")
+
+
+def test_serve_throughput():
+    result = run_serve_benchmark()
+    _record(result.figure_entry())
+
+    # every completed response bit-equals its fresh one-shot oracle
+    assert result.verified > 0
+    assert result.verify_failures == 0
+
+    levels = {level.label: level for level in result.levels}
+    assert set(levels) == {"saturation", "moderate", "overload"}
+
+    # batched + cached serving clears >= 3x the naive loop's throughput
+    assert result.capacity_speedup >= HARD_SPEEDUP, (
+        f"serve capacity only {result.capacity_speedup:.2f}x the naive loop"
+    )
+
+    # the cache short-circuit and the coalescer both did real work
+    saturation = levels["saturation"]
+    assert saturation.cached > 0
+    assert saturation.engine_runs < result.n_requests
+
+    # latency percentiles were measured at every level
+    for level in result.levels:
+        assert level.p50 <= level.p99
+
+    # overload sheds load instead of queueing without bound, and what it
+    # admits it completes
+    overload = levels["overload"]
+    assert overload.rejected > 0
+    assert overload.cached + overload.coalesced + overload.served > 0

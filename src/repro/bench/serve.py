@@ -1,0 +1,245 @@
+"""Serving-throughput benchmark: batched multi-tenant server vs naive loop.
+
+The baseline is the cost model of running the CLI once per request: every
+job re-imports nothing but *regenerates its dataset, rebuilds its engine,
+and replans its schedule from scratch* — exactly what ``repro run`` pays.
+The server amortizes all three (dataset pool, engine pool, schedule /
+fastpath / hash memos) and short-circuits exact repeats through the run
+cache, so on a repeat-heavy trace it should clear several times the naive
+throughput.
+
+Three load levels exercise the full policy surface on the *same* job mix:
+
+- ``saturation`` — every request arrives at t≈0 with an unbounded queue;
+  makespan is pure service time, so completed/makespan measures the
+  server's *capacity*. This is the number the ≥3x speedup claim is made
+  against.
+- ``moderate`` — open-loop arrivals at 2x the measured naive service
+  rate: sustained load a naive loop could not hold, served with low
+  queueing delay.
+- ``overload`` — arrivals at 20x the naive rate into a small queue:
+  admission control must shed load (rejections > 0) while everything
+  admitted still completes.
+
+Timing and verification are strictly separated: servers run with
+verification off, then every completed response is bit-compared (exact
+output equality and exact ``sim_time``) against a fresh one-shot oracle
+recorded during the naive pass.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import get_app
+from repro.bench.sweep import RunCache
+from repro.errors import ReproError
+from repro.serve.scheduler import ServeConfig, Server, oneshot_oracle, serve_trace
+from repro.serve.workload import TraceSpec, generate_trace, scale_trace
+from repro.units import KiB
+
+#: default job mix: ~60 requests, repeat-heavy, two apps x two chunk sizes
+DEFAULT_TRACE = TraceSpec(
+    seed=23,
+    duration=3.0,
+    rate=20.0,
+    data_bytes=512 * KiB,
+    n_dataset_seeds=2,
+    chunk_kib_choices=(256, 512),
+    repeat_p=0.55,
+)
+
+
+@dataclass
+class LoadLevel:
+    """One measured operating point of the server."""
+
+    label: str
+    #: offered arrival rate (requests/second; inf for saturation)
+    offered_rate: float
+    jobs_per_sec: float
+    p50: float
+    p99: float
+    rejected: int
+    cached: int
+    coalesced: int
+    served: int
+    engine_runs: int
+    makespan: float
+
+
+@dataclass
+class ServeBenchResult:
+    n_requests: int
+    naive_seconds: float
+    naive_jobs_per_sec: float
+    levels: list = field(default_factory=list)
+    verified: int = 0
+    verify_failures: int = 0
+
+    @property
+    def capacity_speedup(self) -> float:
+        """Saturation-level server throughput over the naive loop's."""
+        for level in self.levels:
+            if level.label == "saturation":
+                return level.jobs_per_sec / self.naive_jobs_per_sec
+        raise ReproError("benchmark did not run a saturation level")
+
+    def figure_entry(self) -> dict:
+        entry = {
+            "name": "serve_throughput",
+            "n_requests": self.n_requests,
+            "naive_jobs_per_sec": round(self.naive_jobs_per_sec, 2),
+            "speedup_vs_naive": round(self.capacity_speedup, 2),
+            "verified": self.verified,
+            "verify_failures": self.verify_failures,
+        }
+        for level in self.levels:
+            entry[level.label] = {
+                "offered_rate": (
+                    None
+                    if not np.isfinite(level.offered_rate)
+                    else round(level.offered_rate, 2)
+                ),
+                "jobs_per_sec": round(level.jobs_per_sec, 2),
+                "p50_s": round(level.p50, 5),
+                "p99_s": round(level.p99, 5),
+                "rejected": level.rejected,
+                "cached": level.cached,
+                "coalesced": level.coalesced,
+                "engine_runs": level.engine_runs,
+            }
+        return entry
+
+    def summary(self) -> str:
+        lines = [
+            f"naive loop: {self.n_requests} jobs in {self.naive_seconds:.2f}s "
+            f"= {self.naive_jobs_per_sec:.2f} jobs/s",
+            f"capacity speedup: {self.capacity_speedup:.2f}x",
+        ]
+        for level in self.levels:
+            lines.append(
+                f"  {level.label}: {level.jobs_per_sec:.2f} jobs/s "
+                f"p50={level.p50:.4f}s p99={level.p99:.4f}s "
+                f"rejected={level.rejected} cached={level.cached} "
+                f"engine_runs={level.engine_runs}"
+            )
+        lines.append(
+            f"verified {self.verified} responses, "
+            f"{self.verify_failures} failures"
+        )
+        return "\n".join(lines)
+
+
+def _serve_level(
+    label: str,
+    requests: list,
+    offered_rate: float,
+    config: ServeConfig,
+    timer,
+) -> tuple:
+    """Run one load level on a fresh server; returns (level, responses)."""
+    # memory-only cache: the benchmark must not depend on (or pollute)
+    # whatever .repro-cache directory the host happens to have
+    with Server(config, cache=RunCache(disk=None)) as server:
+        outcome = serve_trace(server, requests, timer=timer)
+    m = outcome.metrics
+    level = LoadLevel(
+        label=label,
+        offered_rate=offered_rate,
+        jobs_per_sec=outcome.jobs_per_sec,
+        p50=m.p50,
+        p99=m.p99,
+        rejected=m.rejected,
+        cached=m.cached,
+        coalesced=m.coalesced,
+        served=m.served,
+        engine_runs=m.engine_runs,
+        makespan=outcome.makespan,
+    )
+    return level, outcome.responses
+
+
+def run_serve_benchmark(
+    spec: TraceSpec = DEFAULT_TRACE,
+    max_batch: int = 8,
+    overload_queue: int = 16,
+    timer=time.perf_counter,
+) -> ServeBenchResult:
+    """Measure naive vs batched serving on one trace; verify bit-equality."""
+    trace = generate_trace(spec)
+    if not trace:
+        raise ReproError("trace spec produced no requests")
+
+    # --- naive baseline: fresh app + dataset + engine per request, no
+    # caches — and record each unique job's first result as the oracle
+    oracles: dict = {}
+    start = timer()
+    for req in trace:
+        result = oneshot_oracle(req.job)
+        key = (req.job.dataset, req.job.engine, req.job.config)
+        oracles.setdefault(key, result)
+    naive_seconds = max(timer() - start, 1e-9)
+    naive_rate = len(trace) / naive_seconds
+
+    result = ServeBenchResult(
+        n_requests=len(trace),
+        naive_seconds=naive_seconds,
+        naive_jobs_per_sec=naive_rate,
+    )
+
+    # --- saturation: everything arrives at once, queue unbounded ---
+    burst = scale_trace(trace, 1e-9)
+    level, responses = _serve_level(
+        "saturation",
+        burst,
+        float("inf"),
+        ServeConfig(max_queue=len(trace) + 1, max_batch=max_batch),
+        timer,
+    )
+    result.levels.append(level)
+    all_responses = [(trace, responses)]
+
+    # --- moderate: open loop at 2x the naive service rate ---
+    moderate = scale_trace(trace, spec.rate / (2.0 * naive_rate))
+    level, responses = _serve_level(
+        "moderate",
+        moderate,
+        2.0 * naive_rate,
+        ServeConfig(max_queue=64, max_batch=max_batch),
+        timer,
+    )
+    result.levels.append(level)
+    all_responses.append((trace, responses))
+
+    # --- overload: 20x the naive rate into a small queue ---
+    overload = scale_trace(trace, spec.rate / (20.0 * naive_rate))
+    level, responses = _serve_level(
+        "overload",
+        overload,
+        20.0 * naive_rate,
+        ServeConfig(max_queue=overload_queue, max_batch=max_batch),
+        timer,
+    )
+    result.levels.append(level)
+    all_responses.append((trace, responses))
+
+    # --- verification: every completed response bit-equals its oracle ---
+    by_id = {req.req_id: req.job for req in trace}
+    for _, responses in all_responses:
+        for resp in responses:
+            if resp.status in ("rejected", "failed"):
+                continue
+            job = by_id[resp.req_id]
+            oracle = oracles[(job.dataset, job.engine, job.config)]
+            result.verified += 1
+            ok = resp.result.sim_time == oracle.sim_time
+            if job.config.functional:
+                app = get_app(job.dataset.app)
+                ok = ok and app.outputs_equal(resp.result.output, oracle.output)
+            if not ok:
+                result.verify_failures += 1
+    return result

@@ -33,6 +33,7 @@ import itertools
 import os
 import pickle
 import threading
+import time
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -114,6 +115,13 @@ class DiskCache:
     """
 
     _EVICT_EVERY = 50
+    #: orphaned temp files (a writer killed mid-``put``) older than this
+    #: are swept during eviction; generous enough that no live writer —
+    #: entries are small pickles — can still be mid-write
+    _TMP_MAX_AGE = 300.0
+    #: per-process counter making every temp filename unique: two threads
+    #: of one process racing on the same digest must not share a temp file
+    _tmp_seq = itertools.count()
 
     def __init__(self, root: Optional[os.PathLike] = None, max_entries: int = 4096):
         self._root = root
@@ -172,7 +180,9 @@ class DiskCache:
         path = self._path(digest)
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
-            tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+            tmp = path.parent / (
+                f".{path.name}.{os.getpid()}.{next(self._tmp_seq)}.tmp"
+            )
             with open(tmp, "wb") as fh:
                 pickle.dump(result, fh, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
@@ -185,14 +195,34 @@ class DiskCache:
             self._evict()
 
     def _evict(self) -> None:
+        # Concurrent writers race this scan: an entry listed by glob may be
+        # unlinked (another evictor, a clear(), a corrupt-entry reaper)
+        # before it is stat'ed — treat every stat/unlink as best-effort.
+        def mtime(path: Path) -> Optional[float]:
+            try:
+                return path.stat().st_mtime
+            except OSError:
+                return None
+
         entries = sorted(
-            self.root.glob("??/*.pkl"), key=lambda p: p.stat().st_mtime
+            (m, p)
+            for p in self.root.glob("??/*.pkl")
+            if (m := mtime(p)) is not None
         )
-        for path in entries[: max(0, len(entries) - self.max_entries)]:
+        for _, path in entries[: max(0, len(entries) - self.max_entries)]:
             try:
                 path.unlink()
             except OSError:
                 pass
+        # sweep temp files orphaned by a writer that died mid-put
+        now = time.time()
+        for tmp in self.root.glob("??/.*.tmp"):
+            age = mtime(tmp)
+            if age is not None and now - age > self._TMP_MAX_AGE:
+                try:
+                    tmp.unlink()
+                except OSError:
+                    pass
 
     def __len__(self) -> int:
         if not self.enabled or not self.root.is_dir():
@@ -211,6 +241,21 @@ class DiskCache:
             self.hits = self.misses = self._puts = 0
 
 
+#: memoized ``content_run_key`` digests, keyed on dataset *identity* (plus
+#: engine/config): the serve admission loop probes the cache once per
+#: request, and re-deriving the SHA-256 — whose ``dataset_key`` component
+#: may itself hash megabytes for hand-built datasets — on every probe of
+#: the same run would put hashing on the hot path. Identity keying makes a
+#: stale hit impossible: a regenerated dataset gets a fresh fingerprint.
+_CONTENT_KEY_MEMO: OrderedDict = OrderedDict()
+_CONTENT_KEY_MEMO_MAX = 4096
+_CONTENT_KEY_LOCK = threading.Lock()
+
+#: process-wide accounting: ``requests`` counts every ``content_run_key``
+#: call, ``computed`` only the digests actually derived (memo misses)
+CONTENT_KEY_STATS = {"requests": 0, "computed": 0}
+
+
 def content_run_key(
     engine: Engine, app: Application, data: AppData, config: EngineConfig
 ) -> str:
@@ -222,7 +267,19 @@ def content_run_key(
     per-instance fingerprint), and the frozen config's repr (dataclass
     reprs are deterministic, and include the hardware spec and any fault
     plan). :data:`CACHE_SCHEMA_VERSION` folds the build generation in.
+
+    Digests are memoized per process on the dataset's *identity*
+    fingerprint (plus engine and config), so repeated probes for the same
+    run — the ``repro serve`` hot loop — hash exactly once
+    (:data:`CONTENT_KEY_STATS` carries the proof).
     """
+    memo_key = (engine.cache_key, app.name, data_fingerprint(data), config)
+    with _CONTENT_KEY_LOCK:
+        CONTENT_KEY_STATS["requests"] += 1
+        digest = _CONTENT_KEY_MEMO.get(memo_key)
+        if digest is not None:
+            _CONTENT_KEY_MEMO.move_to_end(memo_key)
+            return digest
     payload = repr(
         (
             CACHE_SCHEMA_VERSION,
@@ -232,7 +289,14 @@ def content_run_key(
             config,
         )
     )
-    return hashlib.sha256(payload.encode()).hexdigest()
+    digest = hashlib.sha256(payload.encode()).hexdigest()
+    with _CONTENT_KEY_LOCK:
+        CONTENT_KEY_STATS["computed"] += 1
+        _CONTENT_KEY_MEMO[memo_key] = digest
+        _CONTENT_KEY_MEMO.move_to_end(memo_key)
+        while len(_CONTENT_KEY_MEMO) > _CONTENT_KEY_MEMO_MAX:
+            _CONTENT_KEY_MEMO.popitem(last=False)
+    return digest
 
 
 class RunCache:

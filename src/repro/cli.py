@@ -21,7 +21,12 @@ Commands mirror the library's surfaces:
   apps (see ``docs/engines.md``);
 * ``sweep`` — autotune one engine/app pair over the default grid, with
   ``--jobs``/``--backend`` for parallel evaluation and a persistent run
-  cache (see ``docs/performance.md``).
+  cache (see ``docs/performance.md``);
+* ``serve`` — multi-tenant serving: replay a seeded open-loop request
+  trace through the admission queue + WDRR scheduler + batched
+  dispatcher, with cache short-circuit and cross-job template reuse
+  (see ``docs/serving.md``); ``--verify`` oracle-checks every response;
+  exits nonzero on verification failure.
 """
 
 from __future__ import annotations
@@ -181,6 +186,7 @@ def cmd_verify(args) -> int:
         compiled=args.compiled,
         analytic=args.analytic,
         multigpu=args.multigpu,
+        serve=args.serve,
     )
     print(summary.summary())
     return 0 if summary.ok else 1
@@ -195,6 +201,7 @@ def cmd_chaos(args) -> int:
         data_bytes=args.data_mib * MiB if args.data_mib else None,
         jobs=args.jobs,
         backend=args.backend,
+        serve=args.serve,
     )
     print(report.summary())
     print(f"fingerprint: {report.fingerprint()}")
@@ -346,6 +353,93 @@ def _analytic_scan(args, engine, app, data) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.serve import (
+        DEFAULT_TENANTS,
+        ServeConfig,
+        Server,
+        TenantSpec,
+        TraceSpec,
+        generate_trace,
+        serve_trace,
+    )
+
+    if args.tenants:
+        try:
+            tenants = tuple(
+                TenantSpec(
+                    name.strip(), float(weight) if sep else 1.0
+                )
+                for name, sep, weight in (
+                    tok.partition("=") for tok in args.tenants.split(",")
+                )
+            )
+        except (ValueError, ReproError) as exc:
+            print(f"bad --tenants {args.tenants!r}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        tenants = DEFAULT_TENANTS
+
+    spec = TraceSpec(
+        seed=args.seed,
+        duration=args.duration,
+        rate=args.rate,
+        tenants=tenants,
+        data_bytes=args.data_mib * MiB,
+    )
+    trace = generate_trace(spec)
+    config = ServeConfig(
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        cache=not args.no_cache,
+        disk_cache=args.disk_cache,
+        verify=args.verify,
+        jobs=args.jobs,
+        backend=args.backend,
+    )
+    print(
+        f"serving {len(trace)} requests over {spec.duration:g}s "
+        f"({spec.rate:g}/s offered) from {len(tenants)} tenant(s), "
+        f"backend={config.backend} jobs={config.jobs}"
+    )
+    with Server(config, tenants=tenants) as server:
+        outcome = serve_trace(server, trace)
+    print(outcome.summary())
+    if args.trace_out:
+        log = [
+            {
+                "req_id": r.req_id,
+                "tenant": r.tenant,
+                "status": r.status,
+                "arrival": r.arrival,
+                "dispatch": r.dispatch,
+                "completion": r.completion,
+                "batch_id": r.batch_id,
+                "error": r.error,
+            }
+            for r in outcome.responses
+        ]
+        with open(args.trace_out, "w") as fh:
+            json.dump(log, fh, indent=2)
+        print(f"wrote {len(log)} responses to {args.trace_out}")
+    metrics = outcome.metrics
+    if metrics.verify_failures:
+        print(
+            f"{metrics.verify_failures} response(s) diverged from their "
+            f"one-shot oracle",
+            file=sys.stderr,
+        )
+        return 1
+    if args.expect_cache_hits and metrics.cached == 0:
+        print("expected cache hits but the run cache never hit",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_report(args) -> int:
     from repro.analytic import run_report
 
@@ -413,6 +507,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(multi-GPU engine vs the serial oracle, per-shard "
                           "trace invariants, analytic shard model, fuzzed "
                           "fabrics)")
+    p_v.add_argument("--serve", action="store_true",
+                     help="also run the serve differential (a multi-tenant "
+                          "trace through a live server; every response "
+                          "bit-equal to a fresh one-shot oracle)")
 
     p_c = sub.add_parser(
         "chaos",
@@ -435,6 +533,11 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["auto", "thread", "process"],
                      help="executor for --jobs > 1 (auto picks process: "
                           "faulted runs are DES-bound)")
+    p_c.add_argument("--serve", action="store_true",
+                     help="route every faulted run through a live serve "
+                          "Server; the report fingerprint must match the "
+                          "direct sweep (fault containment survives "
+                          "batching)")
 
     p_b = sub.add_parser(
         "bench",
@@ -492,6 +595,46 @@ def build_parser() -> argparse.ArgumentParser:
                            "optimum and report the relative error")
     _add_common(p_sw)
 
+    p_srv = sub.add_parser(
+        "serve",
+        help="multi-tenant serving: replay a seeded request trace through "
+             "the admission queue + WDRR scheduler + batched dispatcher "
+             "(see docs/serving.md)",
+    )
+    p_srv.add_argument("--duration", type=float, default=3.0,
+                       help="seconds of arrivals to generate")
+    p_srv.add_argument("--rate", type=float, default=20.0,
+                       help="mean offered arrival rate (requests/second)")
+    p_srv.add_argument("--tenants", default="",
+                       help="tenant mix as 'name=weight,...' "
+                            "(default: alpha=1,beta=2,gamma=4)")
+    p_srv.add_argument("--seed", type=int, default=7, help="trace seed")
+    p_srv.add_argument("--data-mib", type=int, default=1,
+                       help="dataset size per job (MiB)")
+    p_srv.add_argument("--max-queue", type=int, default=64,
+                       help="total backlog before admission control rejects")
+    p_srv.add_argument("--max-batch", type=int, default=8,
+                       help="dispatch window size")
+    p_srv.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for --backend process")
+    p_srv.add_argument("--backend", default="thread",
+                       choices=["thread", "process"],
+                       help="thread amortizes via batched engine entry; "
+                            "process parallelizes unique jobs")
+    p_srv.add_argument("--no-cache", action="store_true",
+                       help="disable the run cache (every job executes)")
+    p_srv.add_argument("--disk-cache", action="store_true",
+                       help="enable the persistent disk tier "
+                            "(.repro-cache / REPRO_CACHE_DIR)")
+    p_srv.add_argument("--verify", action="store_true",
+                       help="oracle-check every response inline "
+                            "(exit nonzero on any divergence)")
+    p_srv.add_argument("--expect-cache-hits", action="store_true",
+                       help="exit nonzero if the run cache never hit "
+                            "(smoke-test guard)")
+    p_srv.add_argument("--trace", dest="trace_out", default="",
+                       help="write the per-response log JSON to this path")
+
     p_rep = sub.add_parser(
         "report",
         help="instant analytic report: predicted per-engine times, "
@@ -526,6 +669,7 @@ def main(argv=None) -> int:
         "chaos": cmd_chaos,
         "bench": cmd_bench,
         "sweep": cmd_sweep,
+        "serve": cmd_serve,
         "report": cmd_report,
         "fig4a": cmd_figure,
         "fig4b": cmd_figure,

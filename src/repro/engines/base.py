@@ -152,6 +152,25 @@ class Engine(abc.ABC):
     ) -> RunResult:
         """Execute ``app`` over ``data``; returns output + simulated time."""
 
+    def run_batch(
+        self,
+        app: Application,
+        data: AppData,
+        configs: list[EngineConfig],
+    ) -> list[RunResult]:
+        """Run one dataset under several configs as a single batch entry.
+
+        The serving layer (``repro.serve``) coalesces compatible requests
+        into one pass over the engine; this hook is where an engine may
+        amortize work across the batch. The default is the trivially
+        correct sequential loop — per-result semantics identical to
+        calling :meth:`run` once per config. Engines with shareable state
+        (BigKernel shares functional outputs across configs with equal
+        chunk bounds) override it; every override must keep each result
+        bit-equal to the corresponding one-shot :meth:`run`.
+        """
+        return [self.run(app, data, cfg) for cfg in configs]
+
     # ------------------------------------------------------------- shared
     @staticmethod
     def _functional_output(

@@ -55,47 +55,126 @@ def default_fault_grid(seed: int = 7) -> tuple[FaultPlan, ...]:
     )
 
 
+def _judge_outcome(
+    app, ref, engine_name, clean, plan, config, outcome
+) -> FaultCell:
+    """Score one faulted-run outcome against the oracle and the clean run.
+
+    ``outcome`` is either a :class:`~repro.engines.base.RunResult` or the
+    typed :class:`~repro.errors.ReproError` the run raised. Splitting the
+    judge from the run is what lets serve mode grade outcomes that came
+    back through a live :class:`~repro.serve.Server` with the exact same
+    code that grades direct runs — the fingerprint contract depends on it.
+    """
+    cfg = config.with_(faults=plan)
+    cell = FaultCell(
+        app=app.name,
+        engine=engine_name,
+        plan=plan.name or plan.describe(),
+        clean_time=clean.sim_time,
+    )
+    if isinstance(outcome, ReproError):
+        # a typed error is a *policy decision* (e.g. a DMA fault
+        # past the retry budget), not a crash — but the default
+        # grid is recoverable, so it still fails the cell
+        cell.ok = False
+        cell.error = type(outcome).__name__
+        cell.detail = str(outcome)
+        return cell
+    res = outcome
+    cell.fault_time = res.sim_time
+    problems = []
+    if not app.outputs_equal(ref.output, res.output):
+        problems.append("output mismatch vs cpu_serial")
+    if res.trace is not None:
+        inv = verify_run(res, cfg)
+        if not inv.ok:
+            problems.append(inv.summary())
+    cell.degradations = dict(res.metrics.notes.get("degradations", {}))
+    if "degraded_from" in res.metrics.notes:
+        cell.degradations["fallback"] = (
+            f"{res.metrics.notes['degraded_from']}->{res.engine}"
+        )
+    cell.stats = dict(res.metrics.notes.get("fault_stats", {}))
+    if problems:
+        cell.ok = False
+        cell.detail = "; ".join(problems)
+    return cell
+
+
 def _evaluate_cell(app, data, ref, engine, clean, plan, config) -> FaultCell:
     """One faulted run, judged against the oracle and the clean run.
 
     Shared by the serial path and both parallel backends so a cell is
     scored by exactly one piece of code.
     """
-    cfg = config.with_(faults=plan)
-    cell = FaultCell(
-        app=app.name,
-        engine=engine.name,
-        plan=plan.name or plan.describe(),
-        clean_time=clean.sim_time,
-    )
     try:
-        res = engine.run(app, data, cfg)
+        outcome = engine.run(app, data, config.with_(faults=plan))
     except ReproError as exc:
-        # a typed error is a *policy decision* (e.g. a DMA fault
-        # past the retry budget), not a crash — but the default
-        # grid is recoverable, so it still fails the cell
-        cell.ok = False
-        cell.error = type(exc).__name__
-        cell.detail = str(exc)
-    else:
-        cell.fault_time = res.sim_time
-        problems = []
-        if not app.outputs_equal(ref.output, res.output):
-            problems.append("output mismatch vs cpu_serial")
-        if res.trace is not None:
-            inv = verify_run(res, cfg)
-            if not inv.ok:
-                problems.append(inv.summary())
-        cell.degradations = dict(res.metrics.notes.get("degradations", {}))
-        if "degraded_from" in res.metrics.notes:
-            cell.degradations["fallback"] = (
-                f"{res.metrics.notes['degraded_from']}->{res.engine}"
+        outcome = exc
+    return _judge_outcome(app, ref, engine.name, clean, plan, config, outcome)
+
+
+def _serve_cell_block(
+    app, engine, plans, config, seed, data_bytes
+) -> list[FaultCell]:
+    """One (app, engine) block with every faulted run routed through a live
+    :class:`~repro.serve.Server` instead of a direct ``engine.run``.
+
+    The server runs with caching off (a faulted run must actually execute)
+    and the judge is the same :func:`_judge_outcome` as direct mode, so
+    the resulting cells — and therefore ``report.fingerprint()`` — are
+    identical to a direct sweep over the same grid. That equality is the
+    graceful-degradation contract for the serving layer: a fault inside a
+    batch produces a typed per-request failure, never a wedged server.
+    """
+    from repro.apps.base import APP_REGISTRY
+    from repro.apps.datagen import DATAGEN_VERSION
+    from repro.bench.jobs import DatasetSpec, JobSpec, engine_to_spec
+    from repro.serve.scheduler import ServeConfig, Server
+    from repro.serve.workload import ServeRequest
+
+    engine_spec = engine_to_spec(engine)
+    if engine_spec is None or APP_REGISTRY.get(app.name) is not type(app):
+        raise ReproError(
+            "chaos serve mode needs registry apps and stock engines "
+            "(requests ride as picklable job specs)"
+        )
+    data = app.generate(n_bytes=data_bytes, seed=seed)
+    ref = CpuSerialEngine().run(app, data, config)
+    clean = engine.run(app, data, config)
+    dataset = DatasetSpec(
+        app=app.name, seed=seed, n_bytes=data_bytes, version=DATAGEN_VERSION
+    )
+    serve_config = ServeConfig(
+        cache=False, max_queue=len(plans) + 1, max_batch=max(len(plans), 1)
+    )
+    with Server(serve_config) as server:
+        for i, plan in enumerate(plans):
+            job = JobSpec(
+                dataset=dataset,
+                engine=engine_spec,
+                config=config.with_(faults=plan),
             )
-        cell.stats = dict(res.metrics.notes.get("fault_stats", {}))
-        if problems:
-            cell.ok = False
-            cell.detail = "; ".join(problems)
-    return cell
+            rejection = server.submit(
+                ServeRequest(req_id=i, tenant="chaos", arrival=0.0, job=job)
+            )
+            if rejection is not None:  # sized above the grid; cannot happen
+                raise ReproError("chaos serve queue rejected a grid cell")
+        responses = {resp.req_id: resp for resp in server.drain()}
+    cells = []
+    for i, plan in enumerate(plans):
+        resp = responses[i]
+        outcome = resp.exception if resp.exception is not None else resp.result
+        if outcome is None:
+            raise ReproError(
+                f"serve chaos cell {plan.name!r} came back with neither a "
+                f"result nor a typed error (status {resp.status!r})"
+            )
+        cells.append(
+            _judge_outcome(app, ref, engine.name, clean, plan, config, outcome)
+        )
+    return cells
 
 
 def _cell_block(app, engine, plans, config, seed, data_bytes) -> list[FaultCell]:
@@ -169,6 +248,7 @@ def run_chaos(
     config: Optional[EngineConfig] = None,
     jobs: int = 1,
     backend: str = "auto",
+    serve: bool = False,
 ) -> FaultReport:
     """Run the fault grid over the app x engine matrix.
 
@@ -184,6 +264,11 @@ def run_chaos(
     are DES-bound), or ``backend="thread"`` (shares live instances, works
     for custom apps/engines). Cells are merged in the serial nesting order,
     so ``report.fingerprint()`` is backend-invariant.
+
+    ``serve=True`` routes every faulted run through a live
+    :class:`~repro.serve.Server` (``jobs``/``backend`` are ignored — the
+    server under test runs in-process) and must produce the identical
+    fingerprint: fault containment has to survive the batching layer.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     config = config or EngineConfig(chunk_bytes=max(256 * 1024, data_bytes // 8))
@@ -208,6 +293,12 @@ def run_chaos(
 
     report = FaultReport(seed=seed)
     blocks = [(app, engine) for app in apps for engine in engines]
+    if serve:
+        for app, engine in blocks:
+            report.cells.extend(
+                _serve_cell_block(app, engine, plans, config, seed, data_bytes)
+            )
+        return report
     if jobs > 1 and len(blocks) > 1:
         resolved = _resolve_backend(backend, jobs, apps, engines)
         from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor

@@ -1,0 +1,109 @@
+"""Counters and latency statistics for one server lifetime."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+def _tenant_bucket() -> dict:
+    return {"submitted": 0, "completed": 0, "rejected": 0, "failed": 0}
+
+
+@dataclass
+class ServeMetrics:
+    """Everything the server counts; accounting identities hold at all times:
+
+    ``submitted == admitted + rejected`` and, once the queue is drained,
+    ``admitted == served + coalesced + cached + failed``.
+    """
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    #: batch leaders — unique jobs the engines actually executed
+    served: int = 0
+    #: followers whose result was shared from a leader in the same batch
+    coalesced: int = 0
+    #: exact repeats short-circuited by the run cache (zero engine runs)
+    cached: int = 0
+    failed: int = 0
+    #: dispatch rounds that executed at least one request
+    batches: int = 0
+    largest_batch: int = 0
+    #: unique (dataset, config) jobs handed to an engine — the quantity the
+    #: cache and coalescer exist to minimize
+    engine_runs: int = 0
+    #: inline-oracle mismatches (only counted when the server verifies)
+    verify_failures: int = 0
+    verified: int = 0
+    per_tenant: dict = field(default_factory=dict)
+    #: completion − arrival of every completed request, in trace seconds
+    latencies: list = field(default_factory=list)
+    per_tenant_completed_share: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------- updates
+    def tenant(self, name: str) -> dict:
+        return self.per_tenant.setdefault(name, _tenant_bucket())
+
+    def observe_completion(self, tenant: str, latency: float, status: str) -> None:
+        bucket = self.tenant(tenant)
+        if status == "failed":
+            bucket["failed"] += 1
+        else:
+            bucket["completed"] += 1
+            self.latencies.append(latency)
+
+    # ------------------------------------------------------------- queries
+    @property
+    def completed(self) -> int:
+        """Requests that got a result (by any path)."""
+        return self.served + self.coalesced + self.cached
+
+    def percentile(self, q: float) -> float:
+        if not self.latencies:
+            return float("nan")
+        return float(np.percentile(np.asarray(self.latencies), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def completed_share(self) -> dict:
+        """Fraction of all completed+failed requests per tenant (fairness)."""
+        totals = {
+            name: b["completed"] + b["failed"] for name, b in self.per_tenant.items()
+        }
+        grand = sum(totals.values())
+        if not grand:
+            return {}
+        return {name: n / grand for name, n in totals.items()}
+
+    def summary(self) -> str:
+        lines = [
+            f"submitted={self.submitted} admitted={self.admitted} "
+            f"rejected={self.rejected}",
+            f"served={self.served} coalesced={self.coalesced} "
+            f"cached={self.cached} failed={self.failed}",
+            f"batches={self.batches} largest={self.largest_batch} "
+            f"engine_runs={self.engine_runs}",
+        ]
+        if self.latencies:
+            lines.append(f"latency p50={self.p50:.4f}s p99={self.p99:.4f}s")
+        if self.verified:
+            lines.append(
+                f"verified={self.verified} failures={self.verify_failures}"
+            )
+        for name in sorted(self.per_tenant):
+            b = self.per_tenant[name]
+            lines.append(
+                f"  tenant {name}: submitted={b['submitted']} "
+                f"completed={b['completed']} rejected={b['rejected']} "
+                f"failed={b['failed']}"
+            )
+        return "\n".join(lines)

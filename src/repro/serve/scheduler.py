@@ -1,0 +1,510 @@
+"""Multi-tenant serving core: admission, fair scheduling, batched dispatch.
+
+The :class:`Server` owns per-tenant bounded queues. :meth:`Server.submit`
+is admission control: when the total backlog reaches ``max_queue`` the
+request is rejected immediately (a terminal :class:`ServeResponse`), so
+overload degrades by shedding load instead of growing latency without
+bound. :meth:`Server.dispatch_round` pulls one dispatch window using
+weighted deficit round-robin — each visit credits a tenant
+``quantum * weight`` deficit and drains whole requests against it, so
+long-run service shares converge to the weights while no tenant starves —
+then hands the window to the batcher.
+
+Each batch (same engine variant, app, hardware) runs as one pipeline
+pass: exact repeats are short-circuited through the two-tier
+:class:`~repro.bench.sweep.RunCache` with *zero* engine runs, duplicate
+jobs inside the window collapse onto a single leader run (followers are
+``coalesced``), and the surviving unique jobs go through the engine's
+:meth:`~repro.engines.base.Engine.run_batch` hook on a *shared* dataset
+instance — which is what keeps BigKernel's schedule memoization, the
+fastpath template memo and the per-dataset hashes warm across jobs.
+
+:func:`serve_trace` replays an open-loop trace against a server on a
+virtual clock: the clock jumps to the next arrival when idle and advances
+by the *measured wall time* of each dispatch round, so latencies mix
+queueing delay and real service cost in one consistent unit.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.apps.base import AppData, Application, get_app
+from repro.bench.jobs import (
+    DatasetSpec,
+    EngineSpec,
+    JobSpec,
+    engine_from_spec,
+    run_jobspec,
+)
+from repro.bench.sweep import DiskCache, RunCache, content_run_key
+from repro.engines.base import Engine, RunResult
+from repro.errors import ReproError
+from repro.serve.batcher import Batch, coalesce
+from repro.serve.metrics import ServeMetrics
+from repro.serve.workload import DEFAULT_TENANTS, ServeRequest, TenantSpec
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Server policy knobs."""
+
+    #: total backlog across tenants before admission control rejects
+    max_queue: int = 64
+    #: dispatch window size (upper bound on one round's batch)
+    max_batch: int = 8
+    #: deficit credited per WDRR visit is ``quantum * weight``
+    quantum: float = 1.0
+    #: run-result caching (memory tier always; disk tier via disk_cache)
+    cache: bool = True
+    disk_cache: bool = False
+    #: compare every completed response against a fresh one-shot oracle
+    verify: bool = False
+    #: worker processes for backend="process"
+    jobs: int = 1
+    #: "thread" executes in-process through run_batch (amortized);
+    #: "process" ships unique jobs to a worker pool (parallel)
+    backend: str = "thread"
+    #: generated datasets kept live (LRU) for cross-request reuse
+    dataset_pool: int = 8
+
+    def __post_init__(self):
+        if self.max_queue < 1 or self.max_batch < 1:
+            raise ReproError("max_queue and max_batch must be >= 1")
+        if self.quantum <= 0:
+            raise ReproError("quantum must be positive")
+        if self.backend not in ("thread", "process"):
+            raise ReproError("backend must be 'thread' or 'process'")
+        if self.jobs < 1:
+            raise ReproError("jobs must be >= 1")
+        if self.dataset_pool < 1:
+            raise ReproError("dataset_pool must be >= 1")
+
+
+#: terminal states a request can reach
+STATUSES = ("served", "coalesced", "cached", "rejected", "failed")
+
+
+@dataclass
+class ServeResponse:
+    """Terminal outcome of one request."""
+
+    req_id: int
+    tenant: str
+    #: one of :data:`STATUSES`
+    status: str
+    arrival: float
+    dispatch: float = math.nan
+    completion: float = math.nan
+    batch_id: int = -1
+    error: Optional[str] = None
+    result: Optional[RunResult] = field(default=None, repr=False)
+    #: the typed failure, kept for judges (chaos serve mode re-grades it)
+    exception: Optional[Exception] = field(default=None, repr=False)
+
+    @property
+    def latency(self) -> float:
+        return self.completion - self.arrival
+
+
+def oneshot_oracle(job: JobSpec) -> RunResult:
+    """Fresh one-shot run of a job — new app, newly generated dataset, new
+    engine, no caches. The ground truth a served response must bit-match."""
+    from repro.apps.datagen import DATAGEN_VERSION
+
+    if job.dataset.version != DATAGEN_VERSION:
+        raise ReproError(
+            "oracle cannot replay a dataset from another datagen version"
+        )
+    app = get_app(job.dataset.app)
+    data = app.generate(n_bytes=job.dataset.n_bytes, seed=job.dataset.seed)
+    return engine_from_spec(job.engine).run(app, data, job.config)
+
+
+class Server:
+    """Admission queue + WDRR scheduler + batched dispatcher."""
+
+    def __init__(
+        self,
+        config: Optional[ServeConfig] = None,
+        tenants: tuple = DEFAULT_TENANTS,
+        cache: Optional[RunCache] = None,
+    ):
+        self.config = config or ServeConfig()
+        self.metrics = ServeMetrics()
+        self._queues: "OrderedDict[str, deque]" = OrderedDict()
+        self._weights: dict = {}
+        self._deficit: dict = {}
+        for tenant in tenants:
+            self.register_tenant(tenant)
+        if cache is not None:
+            self.cache: Optional[RunCache] = cache
+        elif self.config.cache:
+            disk = DiskCache() if self.config.disk_cache else None
+            self.cache = RunCache(disk=disk)
+        else:
+            self.cache = None
+        self._datasets: "OrderedDict[DatasetSpec, tuple]" = OrderedDict()
+        self._engines: dict = {}
+        self._oracles: dict = {}
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._batch_seq = 0
+
+    # ---------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- admission
+    def register_tenant(self, tenant: TenantSpec) -> None:
+        if tenant.name not in self._queues:
+            self._queues[tenant.name] = deque()
+            self._deficit[tenant.name] = 0.0
+        self._weights[tenant.name] = tenant.weight
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def submit(self, req: ServeRequest, now: float = 0.0) -> Optional[ServeResponse]:
+        """Admit a request, or reject it when the backlog is full.
+
+        Returns the terminal rejection response, or ``None`` on admission
+        (the response then comes out of a later :meth:`dispatch_round`).
+        """
+        if req.tenant not in self._queues:
+            self.register_tenant(TenantSpec(req.tenant, 1.0))
+        self.metrics.submitted += 1
+        bucket = self.metrics.tenant(req.tenant)
+        bucket["submitted"] += 1
+        if self.pending() >= self.config.max_queue:
+            self.metrics.rejected += 1
+            bucket["rejected"] += 1
+            return ServeResponse(
+                req_id=req.req_id,
+                tenant=req.tenant,
+                status="rejected",
+                arrival=req.arrival,
+                dispatch=now,
+                completion=now,
+                error="queue full",
+            )
+        self.metrics.admitted += 1
+        self._queues[req.tenant].append(req)
+        return None
+
+    # --------------------------------------------------------- scheduling
+    def _select_window(self) -> list:
+        """One WDRR dispatch window (up to ``max_batch`` requests)."""
+        window: list = []
+        while len(window) < self.config.max_batch:
+            if not any(self._queues.values()):
+                break
+            for name, queue in self._queues.items():
+                if not queue:
+                    # an idle tenant banks no credit (standard DRR reset)
+                    self._deficit[name] = 0.0
+                    continue
+                self._deficit[name] += self.config.quantum * self._weights[name]
+                while (
+                    queue
+                    and self._deficit[name] >= 1.0
+                    and len(window) < self.config.max_batch
+                ):
+                    window.append(queue.popleft())
+                    self._deficit[name] -= 1.0
+                if len(window) >= self.config.max_batch:
+                    break
+        return window
+
+    def dispatch_round(self, now: float = 0.0) -> list:
+        """Select one window, execute it as batches, return its responses.
+
+        Responses carry ``dispatch`` stamps but no ``completion`` — the
+        caller knows when the round finished (wall-measured or virtual)
+        and must pass the responses through :meth:`finish`.
+        """
+        window = self._select_window()
+        if not window:
+            return []
+        responses: dict = {}
+        for batch in coalesce(window):
+            responses.update(self._execute_batch(batch, now))
+        return [responses[req.req_id] for req in window]
+
+    def finish(self, responses: list, completion: float) -> None:
+        """Stamp completion times and fold the round into the metrics."""
+        for resp in responses:
+            resp.completion = completion
+            self.metrics.observe_completion(
+                resp.tenant, resp.completion - resp.arrival, resp.status
+            )
+
+    def drain(self, now: float = 0.0) -> list:
+        """Dispatch until the backlog is empty (no clock; completion=now)."""
+        out: list = []
+        while self.pending():
+            round_resps = self.dispatch_round(now=now)
+            self.finish(round_resps, now)
+            out.extend(round_resps)
+        return out
+
+    # ---------------------------------------------------------- execution
+    def _dataset(self, spec: DatasetSpec) -> tuple:
+        """(app, data) for a recipe, via the server's LRU dataset pool.
+
+        Sharing one live ``AppData`` instance across requests is what lets
+        the engine-side memos (schedule, fastpath template, dataset hash)
+        hit: they all key on the instance fingerprint."""
+        cached = self._datasets.get(spec)
+        if cached is not None:
+            self._datasets.move_to_end(spec)
+            return cached
+        from repro.apps.datagen import DATAGEN_VERSION
+
+        if spec.version != DATAGEN_VERSION:
+            raise ReproError(
+                f"dataset spec for {spec.app!r} was made with datagen version "
+                f"{spec.version}, server has {DATAGEN_VERSION}"
+            )
+        app = get_app(spec.app)
+        data = app.generate(n_bytes=spec.n_bytes, seed=spec.seed)
+        self._datasets[spec] = (app, data)
+        while len(self._datasets) > self.config.dataset_pool:
+            self._datasets.popitem(last=False)
+        return app, data
+
+    def _engine(self, spec: EngineSpec) -> Engine:
+        engine = self._engines.get(spec)
+        if engine is None:
+            engine = self._engines[spec] = engine_from_spec(spec)
+        return engine
+
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.config.jobs)
+        return self._executor
+
+    def _terminal(
+        self, req: ServeRequest, status: str, batch_id: int, now: float
+    ) -> ServeResponse:
+        return ServeResponse(
+            req_id=req.req_id,
+            tenant=req.tenant,
+            status=status,
+            arrival=req.arrival,
+            dispatch=now,
+            batch_id=batch_id,
+        )
+
+    def _execute_batch(self, batch: Batch, now: float) -> dict:
+        """Run one compatibility batch; returns req_id -> response."""
+        batch_id = self._batch_seq
+        self._batch_seq += 1
+        self.metrics.batches += 1
+        self.metrics.largest_batch = max(
+            self.metrics.largest_batch, len(batch.requests)
+        )
+        engine = self._engine(batch.engine_spec)
+        responses: dict = {}
+        verify_items: list = []
+
+        # cache probe per unique job; exact repeats never reach the engine
+        to_run: list = []
+        for reqs in batch.unique_jobs().values():
+            job = reqs[0].job
+            try:
+                app, data = self._dataset(job.dataset)
+            except ReproError as exc:
+                for req in reqs:
+                    responses[req.req_id] = self._fail(req, batch_id, now, exc)
+                continue
+            key = disk_key = None
+            hit = None
+            if self.cache is not None:
+                key = RunCache.key(engine, app, data, job.config)
+                if self.cache.disk is not None and self.cache.disk.enabled:
+                    disk_key = content_run_key(engine, app, data, job.config)
+                hit = self.cache.get(key, disk_key)
+            if hit is not None:
+                for req in reqs:
+                    resp = self._terminal(req, "cached", batch_id, now)
+                    resp.result = hit
+                    self.metrics.cached += 1
+                    responses[req.req_id] = resp
+                    verify_items.append((job, resp))
+            else:
+                to_run.append((reqs, app, data, key, disk_key))
+
+        outcomes = self._run_unique(engine, to_run)
+        for (reqs, app, data, key, disk_key), outcome in zip(to_run, outcomes):
+            job = reqs[0].job
+            if isinstance(outcome, Exception):
+                for req in reqs:
+                    responses[req.req_id] = self._fail(req, batch_id, now, outcome)
+                continue
+            self.metrics.engine_runs += 1
+            if self.cache is not None:
+                self.cache.put(key, outcome, disk_key)
+            for pos, req in enumerate(reqs):
+                status = "served" if pos == 0 else "coalesced"
+                resp = self._terminal(req, status, batch_id, now)
+                resp.result = outcome
+                if status == "served":
+                    self.metrics.served += 1
+                else:
+                    self.metrics.coalesced += 1
+                responses[req.req_id] = resp
+                verify_items.append((job, resp))
+
+        if self.config.verify:
+            for job, resp in verify_items:
+                self._verify_one(job, resp)
+        return responses
+
+    def _fail(
+        self, req: ServeRequest, batch_id: int, now: float, exc: Exception
+    ) -> ServeResponse:
+        resp = self._terminal(req, "failed", batch_id, now)
+        resp.error = f"{type(exc).__name__}: {exc}"
+        resp.exception = exc
+        self.metrics.failed += 1
+        return resp
+
+    def _run_unique(self, engine: Engine, to_run: list) -> list:
+        """Execute unique jobs; one outcome (result or exception) each."""
+        if not to_run:
+            return []
+        if (
+            self.config.backend == "process"
+            and self.config.jobs > 1
+            and len(to_run) > 1
+        ):
+            futures = [
+                self._pool().submit(run_jobspec, reqs[0].job)
+                for reqs, *_ in to_run
+            ]
+            outcomes: list = []
+            for future in futures:
+                try:
+                    outcomes.append(future.result())
+                except ReproError as exc:
+                    outcomes.append(exc)
+            return outcomes
+
+        # in-process: group by dataset instance so the engine's batch entry
+        # can amortize state across the configs of one dataset
+        outcomes = [None] * len(to_run)
+        by_data: "OrderedDict[int, list]" = OrderedDict()
+        for i, (_reqs, _app, data, *_rest) in enumerate(to_run):
+            by_data.setdefault(id(data), []).append(i)
+        for idxs in by_data.values():
+            _reqs0, app, data, *_rest = to_run[idxs[0]]
+            configs = [to_run[i][0][0].job.config for i in idxs]
+            try:
+                results = engine.run_batch(app, data, configs)
+                for i, result in zip(idxs, results):
+                    outcomes[i] = result
+            except ReproError:
+                # one poisoned config sank the batch: retry one-by-one so
+                # only the genuinely failing jobs fail
+                for i in idxs:
+                    try:
+                        outcomes[i] = engine.run(app, data, to_run[i][0][0].job.config)
+                    except ReproError as exc:
+                        outcomes[i] = exc
+        return outcomes
+
+    # -------------------------------------------------------- verification
+    def _verify_one(self, job: JobSpec, resp: ServeResponse) -> None:
+        """Bit-compare a completed response against its one-shot oracle."""
+        okey = (job.dataset, job.engine, job.config)
+        oracle = self._oracles.get(okey)
+        if oracle is None:
+            oracle = self._oracles[okey] = oneshot_oracle(job)
+        self.metrics.verified += 1
+        ok = resp.result.sim_time == oracle.sim_time
+        if job.config.functional:
+            app = get_app(job.dataset.app)
+            ok = ok and app.outputs_equal(resp.result.output, oracle.output)
+        if not ok:
+            self.metrics.verify_failures += 1
+            resp.error = "served result diverges from its one-shot oracle"
+
+
+@dataclass
+class ServeOutcome:
+    """Result of replaying one trace against one server."""
+
+    responses: list
+    metrics: ServeMetrics
+    #: virtual seconds from trace start to the last completion
+    makespan: float
+    #: summed measured wall time of all dispatch rounds
+    wall_seconds: float
+
+    @property
+    def jobs_per_sec(self) -> float:
+        """Sustained completion throughput over the virtual makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.metrics.completed / self.makespan
+
+    def summary(self) -> str:
+        lines = [
+            f"makespan={self.makespan:.3f}s wall={self.wall_seconds:.3f}s "
+            f"throughput={self.jobs_per_sec:.2f} jobs/s",
+            self.metrics.summary(),
+        ]
+        return "\n".join(lines)
+
+
+def serve_trace(
+    server: Server, requests: list, timer=time.perf_counter
+) -> ServeOutcome:
+    """Replay an open-loop trace on a virtual clock.
+
+    The clock jumps forward to the next arrival whenever the server goes
+    idle, and advances by the *measured* wall duration of every dispatch
+    round. All arrivals at or before the current clock are admitted before
+    each round, so overload (arrivals outpacing service) fills the queue
+    and exercises admission control exactly as a live server would.
+    """
+    arrivals = sorted(requests, key=lambda r: (r.arrival, r.req_id))
+    out: list = []
+    clock = 0.0
+    wall = 0.0
+    i = 0
+    n = len(arrivals)
+    while i < n or server.pending():
+        if not server.pending() and i < n:
+            clock = max(clock, arrivals[i].arrival)
+        while i < n and arrivals[i].arrival <= clock:
+            rejection = server.submit(arrivals[i], now=clock)
+            if rejection is not None:
+                out.append(rejection)
+            i += 1
+        if not server.pending():
+            continue
+        start = timer()
+        round_resps = server.dispatch_round(now=clock)
+        elapsed = max(timer() - start, 0.0)
+        wall += elapsed
+        clock += elapsed
+        server.finish(round_resps, clock)
+        out.extend(round_resps)
+    out.sort(key=lambda r: r.req_id)
+    return ServeOutcome(
+        responses=out, metrics=server.metrics, makespan=clock, wall_seconds=wall
+    )

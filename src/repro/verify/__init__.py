@@ -20,6 +20,9 @@ sharded scale-out engine against the serial oracle across GPU counts
 and link topologies — merged outputs bit-equal, every shard's trace
 invariant-checked (:func:`~repro.verify.invariants.audit_sharded_run`),
 analytic shard predictions within tolerance, plus fuzzed fabrics.
+``--serve`` replays a seeded multi-tenant trace through a live
+:class:`~repro.serve.Server` and bit-compares every response (rtol 0,
+exact ``sim_time``) against a fresh one-shot oracle of the same job.
 
 ``python -m repro verify`` (see :mod:`repro.verify.runner`) runs the
 suites and exits nonzero on any violation. Opt-in hooks:
@@ -36,10 +39,13 @@ from repro.verify.differential import (
     FastpathReport,
     MultiGpuEntry,
     MultiGpuReport,
+    ServeEntry,
+    ServeReport,
     run_analytic_differential,
     run_differential,
     run_fastpath_differential,
     run_multigpu_differential,
+    run_serve_differential,
 )
 from repro.verify.fuzz import FuzzFailure, FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -79,10 +85,13 @@ __all__ = [
     "FastpathReport",
     "MultiGpuEntry",
     "MultiGpuReport",
+    "ServeEntry",
+    "ServeReport",
     "run_analytic_differential",
     "run_differential",
     "run_fastpath_differential",
     "run_multigpu_differential",
+    "run_serve_differential",
     "FuzzFailure",
     "FuzzReport",
     "run_fuzz",

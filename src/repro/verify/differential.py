@@ -875,3 +875,158 @@ def run_multigpu_differential(
                 )
             )
     return report
+
+
+# --------------------------------------------------------------------------
+# serve mode: the multi-tenant serving layer vs one-shot oracle runs
+# --------------------------------------------------------------------------
+
+
+def _bit_equal(a, b) -> bool:
+    """Exact structural equality (rtol 0): the serving layer's contract is
+    that batching and caching are *invisible*, so no tolerance applies."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        a, b = np.asarray(a), np.asarray(b)
+        return a.dtype == b.dtype and bool(np.array_equal(a, b))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return set(a) == set(b) and all(_bit_equal(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return len(a) == len(b) and all(_bit_equal(x, y) for x, y in zip(a, b))
+    return bool(a == b)
+
+
+@dataclass
+class ServeEntry:
+    """One served request graded against its one-shot oracle."""
+
+    req_id: int
+    tenant: str
+    app: str
+    engine: str
+    status: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass
+class ServeReport:
+    """Structured outcome of one serve-vs-one-shot sweep."""
+
+    entries: list[ServeEntry] = field(default_factory=list)
+    cached: int = 0
+    coalesced: int = 0
+    served: int = 0
+    engine_runs: int = 0
+
+    @property
+    def mismatches(self) -> list[ServeEntry]:
+        return [e for e in self.entries if not e.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def summary(self) -> str:
+        lines = [
+            f"serve vs one-shot: {len(self.entries)} requests "
+            f"({self.served} served, {self.coalesced} coalesced, "
+            f"{self.cached} cached; {self.engine_runs} engine runs), "
+            f"{len(self.mismatches)} mismatch(es)"
+        ]
+        for e in self.mismatches:
+            lines.append(
+                f"  req {e.req_id} [{e.tenant}] {e.app} x {e.engine} "
+                f"({e.status}) MISMATCH — {e.detail}"
+            )
+        return "\n".join(lines)
+
+    def raise_if_failed(self) -> None:
+        if self.mismatches:
+            named = ", ".join(str(e.req_id) for e in self.mismatches)
+            raise VerificationError(
+                f"serve differential mismatch in request(s) {named}\n"
+                f"{self.summary()}"
+            )
+
+
+def run_serve_differential(
+    data_bytes: int = 512 * 1024,
+    seed: int = 7,
+    duration: float = 2.0,
+    rate: float = 25.0,
+) -> ServeReport:
+    """Serve a short seeded trace and bit-compare every response.
+
+    A repeat-heavy multi-tenant trace goes through a live
+    :class:`~repro.serve.Server` with the full amortization stack engaged
+    (run cache, batch coalescing, shared datasets, engine memos); then
+    *every* completed response — served, coalesced, or cached alike — is
+    compared against a fresh one-shot oracle (new app, newly generated
+    dataset, new engine, no caches) for that exact job. ``sim_time`` must
+    be exactly equal and outputs bit-equal with zero tolerance. The queue
+    is sized above the trace so nothing is rejected: in this pillar a
+    rejection or a failure is itself a mismatch.
+    """
+    from repro.bench.sweep import RunCache
+    from repro.serve import (
+        ServeConfig,
+        Server,
+        TraceSpec,
+        generate_trace,
+        oneshot_oracle,
+        serve_trace,
+    )
+
+    spec = TraceSpec(
+        seed=seed, duration=duration, rate=rate, data_bytes=data_bytes
+    )
+    trace = generate_trace(spec)
+    config = ServeConfig(max_queue=len(trace) + 1)
+    # memory-only cache: the pillar must be hermetic, not a disk-state test
+    with Server(config, cache=RunCache(disk=None)) as server:
+        outcome = serve_trace(server, trace)
+
+    jobs = {req.req_id: (req.tenant, req.job) for req in trace}
+    oracles: dict = {}
+    report = ServeReport(
+        cached=outcome.metrics.cached,
+        coalesced=outcome.metrics.coalesced,
+        served=outcome.metrics.served,
+        engine_runs=outcome.metrics.engine_runs,
+    )
+    for resp in outcome.responses:
+        tenant, job = jobs[resp.req_id]
+        entry = ServeEntry(
+            req_id=resp.req_id,
+            tenant=tenant,
+            app=job.dataset.app,
+            engine=job.engine.name,
+            status=resp.status,
+            ok=True,
+        )
+        if resp.status in ("rejected", "failed"):
+            entry.ok = False
+            entry.detail = resp.error or f"request {resp.status}"
+        else:
+            key = (job.dataset, job.engine, job.config)
+            oracle = oracles.get(key)
+            if oracle is None:
+                oracle = oracles[key] = oneshot_oracle(job)
+            problems = []
+            if resp.result.sim_time != oracle.sim_time:
+                problems.append(
+                    f"sim_time {resp.result.sim_time!r} != "
+                    f"{oracle.sim_time!r}"
+                )
+            if job.config.functional and not _bit_equal(
+                resp.result.output, oracle.output
+            ):
+                problems.append(
+                    f"output {describe_output(resp.result.output)} != "
+                    f"{describe_output(oracle.output)}"
+                )
+            if problems:
+                entry.ok = False
+                entry.detail = "; ".join(problems)
+        report.entries.append(entry)
+    return report

