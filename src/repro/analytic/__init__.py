@@ -15,18 +15,26 @@ from repro.analytic.grid import (
     predict_grid,
     suggest_grid,
 )
-from repro.analytic.model import AppModel, extract_app_model
+from repro.analytic.model import (
+    ANALYTIC_MODEL_STATS,
+    AppModel,
+    extract_app_model,
+)
 from repro.analytic.predict import (
+    PREDICT_RUN_STATS,
     PREDICTABLE_ENGINES,
     PredictedRun,
     predict_run,
     predict_templated,
+    predicted_sim_time,
     resolve_engine,
 )
 from repro.analytic.report import run_report
 
 __all__ = [
+    "ANALYTIC_MODEL_STATS",
     "AppModel",
+    "PREDICT_RUN_STATS",
     "GRID_FIELDS",
     "GridPrediction",
     "PREDICTABLE_ENGINES",
@@ -37,6 +45,7 @@ __all__ = [
     "predict_grid",
     "predict_run",
     "predict_templated",
+    "predicted_sim_time",
     "resolve_engine",
     "run_report",
     "suggest_grid",

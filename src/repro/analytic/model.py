@@ -19,13 +19,29 @@ geometry precisely to keep that claim honest (the scalar
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.apps.base import AppData, Application
+from repro.apps.base import AppData, Application, dataset_key
 from repro.engines.base import EngineConfig
 from repro.engines.bigkernel import BigKernelEngine, BigKernelFeatures
 from repro.engines.gpu_common import chunk_plan
+
+#: process-wide accounting of :func:`extract_app_model` memoization, the
+#: sibling of ``DATASET_HASH_STATS`` (apps.base) and ``CONTENT_KEY_STATS``
+#: (bench.sweep): ``requests`` counts every extraction ask, ``hits`` the
+#: ones answered from the content-keyed cache, ``misses`` the full
+#: app-byte walks actually paid
+ANALYTIC_MODEL_STATS = {"requests": 0, "hits": 0, "misses": 0}
+
+#: content-keyed LRU of extracted models. The model is a frozen pure
+#: function of (dataset content, engine features, sampling geometry), so
+#: the key is exactly those: :func:`repro.apps.base.dataset_key` names the
+#: bytes, and the geometry legs name everything
+#: ``_sample_pattern_fraction`` reads (thread count and chunk size).
+_MODEL_CACHE: "OrderedDict[tuple, AppModel]" = OrderedDict()
+_MODEL_CACHE_MAX = 128
 
 
 @dataclass(frozen=True)
@@ -80,9 +96,30 @@ def extract_app_model(
     config: Optional[EngineConfig] = None,
     features: Optional[BigKernelFeatures] = None,
 ) -> AppModel:
-    """Build the scalar model, sampling pattern state at ``config``'s geometry."""
+    """Build the scalar model, sampling pattern state at ``config``'s geometry.
+
+    Memoized on the dataset's content identity plus the feature set and the
+    sampling geometry (``ANALYTIC_MODEL_STATS`` counts hits/misses), so a
+    serving loop or grid sweep that prices the same (app, dataset, engine)
+    cell repeatedly re-walks the app bytes exactly once.
+    """
     config = config if config is not None else EngineConfig()
     features = features if features is not None else BigKernelFeatures.full()
+    ANALYTIC_MODEL_STATS["requests"] += 1
+    cache_key = (
+        app.name,
+        dataset_key(data),
+        features.label,
+        config.chunk_bytes,
+        config.total_compute_threads,
+        config.pattern_recognition,
+    )
+    cached = _MODEL_CACHE.get(cache_key)
+    if cached is not None:
+        ANALYTIC_MODEL_STATS["hits"] += 1
+        _MODEL_CACHE.move_to_end(cache_key)
+        return cached
+    ANALYTIC_MODEL_STATS["misses"] += 1
     profile = app.access_profile(data)
     units = app.n_units(data)
     engine = BigKernelEngine(features)
@@ -95,7 +132,7 @@ def extract_app_model(
         fraction = engine._sample_pattern_fraction(app, data, config, upc)
     data_bytes = int(units * profile.record_bytes)
     cpu_ops_total = units * profile.cpu_ops_per_record
-    return AppModel(
+    model = AppModel(
         app=app.name,
         units=units,
         passes=profile.passes,
@@ -120,3 +157,7 @@ def extract_app_model(
         feature_coalesce=features.coalesce,
         feature_label=features.label,
     )
+    _MODEL_CACHE[cache_key] = model
+    while len(_MODEL_CACHE) > _MODEL_CACHE_MAX:
+        _MODEL_CACHE.popitem(last=False)
+    return model

@@ -20,6 +20,7 @@ per-chunk closed form (see ``docs/performance.md``).
 from __future__ import annotations
 
 import re
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
@@ -433,3 +434,50 @@ def predict_run(
     return _finish_pipelined(
         eng.name, app.name, total, bounds, occupancy, len(sched.chunks)
     )
+
+
+#: accounting of :func:`predicted_sim_time` memoization — the online
+#: pricing loop of the serving layer asks per enqueued job, so hits should
+#: dominate on any repeat-heavy trace
+PREDICT_RUN_STATS = {"requests": 0, "hits": 0, "misses": 0}
+
+_PREDICT_CACHE: "OrderedDict[tuple, float]" = OrderedDict()
+_PREDICT_CACHE_MAX = 512
+
+
+def predicted_sim_time(
+    app: Application,
+    data: AppData,
+    config: Optional[EngineConfig] = None,
+    engine: Union[str, Engine] = "bigkernel",
+) -> float:
+    """:func:`predict_run`'s ``sim_time``, memoized per compatibility key.
+
+    The key is the content identity of the run — dataset content key,
+    engine spec (name + variant), frozen config — exactly what the serving
+    layer's batcher calls a compatibility class plus the per-job geometry.
+    Raises :class:`ReproError` for engines with no closed-form model (the
+    UVM family), same as :func:`predict_run`.
+    """
+    from repro.apps.base import dataset_key
+    from repro.bench.jobs import engine_to_spec
+
+    config = config if config is not None else EngineConfig()
+    eng = resolve_engine(engine)
+    PREDICT_RUN_STATS["requests"] += 1
+    spec = engine_to_spec(eng)
+    key = None
+    if spec is not None:
+        key = (app.name, dataset_key(data), spec, config)
+        cached = _PREDICT_CACHE.get(key)
+        if cached is not None:
+            PREDICT_RUN_STATS["hits"] += 1
+            _PREDICT_CACHE.move_to_end(key)
+            return cached
+    PREDICT_RUN_STATS["misses"] += 1
+    sim_time = predict_run(app, data, config, eng).sim_time
+    if key is not None:
+        _PREDICT_CACHE[key] = sim_time
+        while len(_PREDICT_CACHE) > _PREDICT_CACHE_MAX:
+            _PREDICT_CACHE.popitem(last=False)
+    return sim_time

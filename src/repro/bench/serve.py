@@ -29,6 +29,7 @@ recorded during the naive pass.
 
 from __future__ import annotations
 
+import copy
 import time
 from dataclasses import dataclass, field
 
@@ -36,9 +37,10 @@ import numpy as np
 
 from repro.apps.base import get_app
 from repro.bench.sweep import RunCache
-from repro.errors import ReproError
+from repro.errors import ReproError, SloViolationError
+from repro.serve.pricing import JobPricer
 from repro.serve.scheduler import ServeConfig, Server, oneshot_oracle, serve_trace
-from repro.serve.workload import TraceSpec, generate_trace, scale_trace
+from repro.serve.workload import TraceSpec, generate_trace, scale_trace, with_slo
 from repro.units import KiB
 
 #: default job mix: ~60 requests, repeat-heavy, two apps x two chunk sizes
@@ -231,6 +233,261 @@ def run_serve_benchmark(
     by_id = {req.req_id: req.job for req in trace}
     for _, responses in all_responses:
         for resp in responses:
+            if resp.status in ("rejected", "failed"):
+                continue
+            job = by_id[resp.req_id]
+            oracle = oracles[(job.dataset, job.engine, job.config)]
+            result.verified += 1
+            ok = resp.result.sim_time == oracle.sim_time
+            if job.config.functional:
+                app = get_app(job.dataset.app)
+                ok = ok and app.outputs_equal(resp.result.output, oracle.output)
+            if not ok:
+                result.verify_failures += 1
+    return result
+
+
+#: default job mix for the SLO benchmark: more unique work (lower repeat
+#: probability, more dataset seeds) than the throughput trace, so queueing
+#: delay — not the cache — dominates under overload
+DEFAULT_SLO_TRACE = TraceSpec(
+    seed=29,
+    duration=3.0,
+    rate=60.0,
+    data_bytes=256 * KiB,
+    n_dataset_seeds=3,
+    chunk_kib_choices=(256, 512),
+    repeat_p=0.3,
+)
+
+
+@dataclass
+class SloPolicyResult:
+    """One scheduling policy's outcome on the overloaded SLO'd trace."""
+
+    label: str
+    p99: float
+    p50: float
+    attainment: float
+    slo_met: int
+    slo_total: int
+    completed: int
+    shed: int
+    rejected: int
+    rejected_predicted: int
+    engine_runs: int
+    makespan: float
+
+    def as_dict(self) -> dict:
+        return {
+            "p99_s": round(self.p99, 5),
+            "p50_s": round(self.p50, 5),
+            "attainment": round(self.attainment, 4),
+            "slo_met": self.slo_met,
+            "completed": self.completed,
+            "shed": self.shed,
+            "rejected": self.rejected,
+            "rejected_predicted": self.rejected_predicted,
+            "engine_runs": self.engine_runs,
+        }
+
+
+@dataclass
+class ServeSloResult:
+    """FIFO/fixed-window baseline vs EDF + admission + adaptive batching."""
+
+    n_requests: int
+    slo_ms: float
+    overload: float
+    capacity_jobs_per_sec: float
+    fifo: SloPolicyResult
+    edf: SloPolicyResult
+    verified: int = 0
+    verify_failures: int = 0
+    #: shed/predicted-rejected responses carrying a typed SloViolationError
+    typed_terminals: int = 0
+    #: shed/predicted-rejected responses missing that typed exception
+    untyped_terminals: int = 0
+
+    @property
+    def p99_improvement(self) -> float:
+        """FIFO's completed-p99 over EDF's (higher = EDF wins)."""
+        if self.edf.p99 <= 0:
+            return float("inf")
+        return self.fifo.p99 / self.edf.p99
+
+    def figure_entry(self) -> dict:
+        return {
+            "name": "serve_slo",
+            "n_requests": self.n_requests,
+            "slo_ms": round(self.slo_ms, 2),
+            "overload_x": round(self.overload, 1),
+            "capacity_jobs_per_sec": round(self.capacity_jobs_per_sec, 2),
+            "p99_improvement": round(self.p99_improvement, 2),
+            "fifo": self.fifo.as_dict(),
+            "edf": self.edf.as_dict(),
+            "verified": self.verified,
+            "verify_failures": self.verify_failures,
+            "typed_terminals": self.typed_terminals,
+            "untyped_terminals": self.untyped_terminals,
+        }
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                f"{self.n_requests} requests at {self.overload:.0f}x capacity "
+                f"({self.capacity_jobs_per_sec:.1f} jobs/s), "
+                f"slo={self.slo_ms:.0f}ms",
+                f"  fifo: p99={self.fifo.p99:.4f}s attainment="
+                f"{100 * self.fifo.attainment:.1f}% shed={self.fifo.shed} "
+                f"rejected={self.fifo.rejected}",
+                f"  edf:  p99={self.edf.p99:.4f}s attainment="
+                f"{100 * self.edf.attainment:.1f}% shed={self.edf.shed} "
+                f"rejected={self.edf.rejected} "
+                f"(predicted={self.edf.rejected_predicted})",
+                f"  p99 improvement: {self.p99_improvement:.2f}x; verified "
+                f"{self.verified} responses, {self.verify_failures} failures",
+            ]
+        )
+
+
+def _slo_policy(
+    label: str,
+    requests: list,
+    tenants: tuple,
+    config: ServeConfig,
+    pricer: JobPricer,
+    timer,
+) -> tuple:
+    with Server(
+        config, tenants=tenants, cache=RunCache(disk=None), pricer=pricer
+    ) as server:
+        outcome = serve_trace(server, requests, timer=timer)
+    m = outcome.metrics
+    attainment = m.slo_attainment()
+    policy = SloPolicyResult(
+        label=label,
+        p99=m.p99,
+        p50=m.p50,
+        attainment=0.0 if attainment is None else attainment,
+        slo_met=m.slo_met,
+        slo_total=m.slo_total,
+        completed=m.completed,
+        shed=m.shed,
+        rejected=m.rejected,
+        rejected_predicted=m.rejected_predicted,
+        engine_runs=m.engine_runs,
+        makespan=outcome.makespan,
+    )
+    return policy, outcome.responses, m
+
+
+def run_serve_slo_benchmark(
+    spec: TraceSpec = DEFAULT_SLO_TRACE,
+    overload: float = 20.0,
+    slo_service_mult: float = 25.0,
+    max_batch: int = 8,
+    max_queue: int = 128,
+    timer=time.perf_counter,
+) -> ServeSloResult:
+    """Deadline-blind FIFO vs predictor-guided EDF under deep overload.
+
+    Phase 1 saturates a FIFO server on the un-deadlined trace to measure
+    the machine's serving *capacity* and to warm one pricer (the
+    wall/sim calibration transfers to both contestants as equal prior
+    knowledge).  The SLO is then set relative to the measured mean
+    service time — ``slo_service_mult`` mean-services — so the benchmark
+    poses the same *relative* deadline pressure on any machine, and the
+    trace is re-timed to ``overload`` times capacity.
+
+    Phase 2 replays that overloaded trace twice with every tenant
+    carrying the SLO: once on the baseline (``scheduling="fifo"``, fixed
+    window, deadline-blind) and once on the full cost-aware stack
+    (``scheduling="edf"`` + predictive admission + adaptive batching).
+    Every completed response from both sides is bit-compared against a
+    fresh one-shot oracle; every shed or predictively rejected response
+    must carry a typed :class:`~repro.errors.SloViolationError`.
+    """
+    trace = generate_trace(spec)
+    if not trace:
+        raise ReproError("trace spec produced no requests")
+
+    oracles: dict = {}
+    for req in trace:
+        key = (req.job.dataset, req.job.engine, req.job.config)
+        if key not in oracles:
+            oracles[key] = oneshot_oracle(req.job)
+
+    # --- phase 1: measure capacity and warm the pricer (no deadlines) ---
+    pricer = JobPricer()
+    burst = scale_trace(trace, 1e-9)
+    with Server(
+        ServeConfig(
+            max_queue=len(trace) + 1, max_batch=max_batch, scheduling="fifo"
+        ),
+        tenants=spec.tenants,
+        cache=RunCache(disk=None),
+        pricer=pricer,
+    ) as server:
+        calibration = serve_trace(server, burst, timer=timer)
+    capacity = calibration.jobs_per_sec
+    if capacity <= 0 or calibration.metrics.completed == 0:
+        raise ReproError("calibration run completed no requests")
+    mean_service = calibration.makespan / calibration.metrics.completed
+    slo_s = slo_service_mult * mean_service
+    slo_ms = 1000.0 * slo_s
+
+    # --- phase 2: the same work at `overload`x capacity, every tenant
+    # carrying the measured-relative SLO ---
+    slo_tenants = with_slo(spec.tenants, slo_ms)
+    overloaded = scale_trace(trace, spec.rate / (overload * capacity))
+
+    fifo_policy, fifo_responses, _ = _slo_policy(
+        "fifo",
+        overloaded,
+        slo_tenants,
+        ServeConfig(
+            max_queue=max_queue, max_batch=max_batch, scheduling="fifo"
+        ),
+        copy.deepcopy(pricer),
+        timer,
+    )
+    edf_policy, edf_responses, _ = _slo_policy(
+        "edf",
+        overloaded,
+        slo_tenants,
+        ServeConfig(
+            max_queue=max_queue,
+            max_batch=max_batch,
+            scheduling="edf",
+            adaptive_batch=True,
+        ),
+        copy.deepcopy(pricer),
+        timer,
+    )
+
+    result = ServeSloResult(
+        n_requests=len(trace),
+        slo_ms=slo_ms,
+        overload=overload,
+        capacity_jobs_per_sec=capacity,
+        fifo=fifo_policy,
+        edf=edf_policy,
+    )
+
+    # --- verification: completed responses bit-equal their oracles;
+    # shed / predicted-rejected responses carry the typed error ---
+    by_id = {req.req_id: req.job for req in trace}
+    for responses in (fifo_responses, edf_responses):
+        for resp in responses:
+            if resp.status in ("shed",) or (
+                resp.status == "rejected" and resp.error != "queue full"
+            ):
+                if isinstance(resp.exception, SloViolationError):
+                    result.typed_terminals += 1
+                else:
+                    result.untyped_terminals += 1
+                continue
             if resp.status in ("rejected", "failed"):
                 continue
             job = by_id[resp.req_id]

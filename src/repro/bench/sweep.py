@@ -346,6 +346,16 @@ class RunCache:
             self.misses += 1
         return None
 
+    def contains(self, key) -> bool:
+        """Silent membership probe of the memory tier.
+
+        No stats update, no LRU touch, no disk promotion — the serving
+        layer's admission pricer uses this to cost repeat jobs at zero
+        without perturbing the hit/miss accounting of real lookups.
+        """
+        with self._lock:
+            return key in self._entries
+
     def put(self, key, result: RunResult, disk_key: Optional[str] = None) -> None:
         with self._lock:
             self._store(key, result)

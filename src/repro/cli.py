@@ -365,6 +365,7 @@ def cmd_serve(args) -> int:
         TraceSpec,
         generate_trace,
         serve_trace,
+        with_slo,
     )
 
     if args.tenants:
@@ -382,6 +383,11 @@ def cmd_serve(args) -> int:
             return 2
     else:
         tenants = DEFAULT_TENANTS
+    if args.slo:
+        if args.slo < 0:
+            print(f"bad --slo {args.slo!r}: must be positive", file=sys.stderr)
+            return 2
+        tenants = with_slo(tenants, args.slo)
 
     spec = TraceSpec(
         seed=args.seed,
@@ -399,11 +405,15 @@ def cmd_serve(args) -> int:
         verify=args.verify,
         jobs=args.jobs,
         backend=args.backend,
+        scheduling=args.scheduling,
+        adaptive_batch=args.adaptive_batch,
     )
     print(
         f"serving {len(trace)} requests over {spec.duration:g}s "
         f"({spec.rate:g}/s offered) from {len(tenants)} tenant(s), "
-        f"backend={config.backend} jobs={config.jobs}"
+        f"backend={config.backend} jobs={config.jobs} "
+        f"scheduling={config.scheduling}"
+        + (f" slo={args.slo:g}ms" if args.slo else "")
     )
     with Server(config, tenants=tenants) as server:
         outcome = serve_trace(server, trace)
@@ -435,6 +445,10 @@ def cmd_serve(args) -> int:
         return 1
     if args.expect_cache_hits and metrics.cached == 0:
         print("expected cache hits but the run cache never hit",
+              file=sys.stderr)
+        return 1
+    if args.slo and not metrics.slo_total:
+        print("--slo was set but no request carried a deadline",
               file=sys.stderr)
         return 1
     return 0
@@ -621,6 +635,17 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["thread", "process"],
                        help="thread amortizes via batched engine entry; "
                             "process parallelizes unique jobs")
+    p_srv.add_argument("--slo", type=float, default=0.0,
+                       help="per-request latency SLO in milliseconds applied "
+                            "to every tenant (0 = best-effort, no deadlines)")
+    p_srv.add_argument("--scheduling", default="edf",
+                       choices=["edf", "fifo"],
+                       help="edf: deadline-aware dispatch with WDRR tiebreak "
+                            "(identical to WDRR without SLOs); fifo: "
+                            "deadline-blind arrival order (baseline)")
+    p_srv.add_argument("--adaptive-batch", action="store_true",
+                       help="size dispatch windows from priced deadline "
+                            "slack instead of always filling max-batch")
     p_srv.add_argument("--no-cache", action="store_true",
                        help="disable the run cache (every job executes)")
     p_srv.add_argument("--disk-cache", action="store_true",

@@ -115,6 +115,20 @@ class ApplicationError(ReproError):
     """Errors raised by the benchmark applications."""
 
 
+class ServeError(ReproError):
+    """Errors raised by the multi-tenant serving layer (``repro.serve``)."""
+
+
+class SloViolationError(ServeError):
+    """A request could not (or predictably will not) meet its deadline.
+
+    Carried on terminal responses the scheduler sheds at dispatch time
+    (the deadline had already passed on the virtual clock) and on
+    admission rejections whose priced backlog made the deadline
+    unreachable. The message names the deadline and the evidence.
+    """
+
+
 class VerificationError(ReproError):
     """A simulated timeline or differential run violated a checked law."""
 

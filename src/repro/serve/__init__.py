@@ -1,8 +1,10 @@
-"""Multi-tenant serving layer: admission, WDRR fairness, launch batching,
-cross-job template reuse, and run-cache short-circuit (docs/serving.md)."""
+"""Multi-tenant serving layer: admission, SLO-aware EDF/WDRR scheduling,
+online job pricing, launch batching, cross-job template reuse, and
+run-cache short-circuit (docs/serving.md)."""
 
 from repro.serve.batcher import Batch, batch_key, coalesce, unique_key
 from repro.serve.metrics import ServeMetrics
+from repro.serve.pricing import JobPricer
 from repro.serve.scheduler import (
     STATUSES,
     ServeConfig,
@@ -20,6 +22,7 @@ from repro.serve.workload import (
     engine_spec_by_name,
     generate_trace,
     scale_trace,
+    with_slo,
 )
 
 __all__ = [
@@ -27,6 +30,7 @@ __all__ = [
     "batch_key",
     "coalesce",
     "unique_key",
+    "JobPricer",
     "ServeMetrics",
     "STATUSES",
     "ServeConfig",
@@ -42,4 +46,5 @@ __all__ = [
     "engine_spec_by_name",
     "generate_trace",
     "scale_trace",
+    "with_slo",
 ]

@@ -1,14 +1,38 @@
-"""Multi-tenant serving core: admission, fair scheduling, batched dispatch.
+"""Multi-tenant serving core: admission, cost-aware scheduling, batching.
 
 The :class:`Server` owns per-tenant bounded queues. :meth:`Server.submit`
 is admission control: when the total backlog reaches ``max_queue`` the
 request is rejected immediately (a terminal :class:`ServeResponse`), so
 overload degrades by shedding load instead of growing latency without
-bound. :meth:`Server.dispatch_round` pulls one dispatch window using
-weighted deficit round-robin — each visit credits a tenant
-``quantum * weight`` deficit and drains whole requests against it, so
-long-run service shares converge to the weights while no tenant starves —
-then hands the window to the batcher.
+bound.  Tenants may carry a latency SLO
+(:attr:`~repro.serve.workload.TenantSpec.slo_ms`); every request of an
+SLO'd tenant gets the deadline ``arrival + slo`` on the serving clock,
+and the scheduler becomes *cost-aware* end to end:
+
+- **Online pricing** — every enqueued job is priced in wall seconds by
+  the :class:`~repro.serve.pricing.JobPricer`: the analytic predictor's
+  O(1) ``sim_time`` scaled by an EWMA wall/sim ratio the server learns
+  from every timed batch (per (app, engine) cell — one batch is exactly
+  one cell).  Engines the predictor cannot model (the UVM family) are
+  priced from the observed per-run wall EWMA alone.
+- **Predictive admission** — a request whose deadline is provably
+  unreachable at enqueue (``now`` + priced earlier-deadline backlog +
+  its own price exceeds the deadline) is rejected immediately with a
+  typed :class:`~repro.errors.SloViolationError` instead of wasting
+  queue space and an engine run.  Unpriced backlogs never reject.
+- **EDF dispatch** — when any queued request has a finite deadline, the
+  window is picked earliest-deadline-first with the WDRR deficit as the
+  tiebreak, so equal deadlines still resolve toward the weights.  With
+  no deadlines in the queues the window selection *is* the classic
+  weighted deficit round-robin, unchanged.
+- **Shedding** — a queued request whose deadline has already passed at
+  dispatch-pick time is provably doomed (its completion would be ``>=
+  now > deadline``), so it is dropped as a typed ``"shed"`` terminal
+  without burning an engine run.  Only already-doomed requests shed.
+- **Adaptive batching** — with ``adaptive_batch`` the dispatch window
+  shrinks so one round's predicted service (per-run wall EWMA x the
+  recent unique fraction) fits the tightest deadline slack in queue,
+  and grows back to ``max_batch`` when slack is plentiful.
 
 Each batch (same engine variant, app, hardware) runs as one pipeline
 pass: exact repeats are short-circuited through the two-tier
@@ -44,9 +68,10 @@ from repro.bench.jobs import (
 )
 from repro.bench.sweep import DiskCache, RunCache, content_run_key
 from repro.engines.base import Engine, RunResult
-from repro.errors import ReproError
-from repro.serve.batcher import Batch, coalesce
+from repro.errors import ReproError, SloViolationError
+from repro.serve.batcher import Batch, batch_key, coalesce, unique_key
 from repro.serve.metrics import ServeMetrics
+from repro.serve.pricing import JobPricer
 from repro.serve.workload import DEFAULT_TENANTS, ServeRequest, TenantSpec
 
 
@@ -72,6 +97,15 @@ class ServeConfig:
     backend: str = "thread"
     #: generated datasets kept live (LRU) for cross-request reuse
     dataset_pool: int = 8
+    #: "edf" = deadline-aware scheduling (identical to WDRR while no
+    #: queued request carries a finite deadline); "fifo" = deadline-blind
+    #: global arrival order, the fixed baseline the benchmark beats
+    scheduling: str = "edf"
+    #: size dispatch windows from priced deadline slack instead of always
+    #: coalescing up to max_batch
+    adaptive_batch: bool = False
+    #: adaptive windows never shrink below this
+    min_batch: int = 1
 
     def __post_init__(self):
         if self.max_queue < 1 or self.max_batch < 1:
@@ -84,10 +118,14 @@ class ServeConfig:
             raise ReproError("jobs must be >= 1")
         if self.dataset_pool < 1:
             raise ReproError("dataset_pool must be >= 1")
+        if self.scheduling not in ("edf", "fifo"):
+            raise ReproError("scheduling must be 'edf' or 'fifo'")
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ReproError("need 1 <= min_batch <= max_batch")
 
 
 #: terminal states a request can reach
-STATUSES = ("served", "coalesced", "cached", "rejected", "failed")
+STATUSES = ("served", "coalesced", "cached", "rejected", "failed", "shed")
 
 
 @dataclass
@@ -102,6 +140,8 @@ class ServeResponse:
     dispatch: float = math.nan
     completion: float = math.nan
     batch_id: int = -1
+    #: serving-clock deadline (``arrival + slo``; ``inf`` = best-effort)
+    deadline: float = math.inf
     error: Optional[str] = None
     result: Optional[RunResult] = field(default=None, repr=False)
     #: the typed failure, kept for judges (chaos serve mode re-grades it)
@@ -127,19 +167,29 @@ def oneshot_oracle(job: JobSpec) -> RunResult:
 
 
 class Server:
-    """Admission queue + WDRR scheduler + batched dispatcher."""
+    """Admission queue + deadline/WDRR scheduler + batched dispatcher."""
 
     def __init__(
         self,
         config: Optional[ServeConfig] = None,
         tenants: tuple = DEFAULT_TENANTS,
         cache: Optional[RunCache] = None,
+        pricer: Optional[JobPricer] = None,
     ):
         self.config = config or ServeConfig()
         self.metrics = ServeMetrics()
+        #: clock used to time dispatch rounds for pricer calibration;
+        #: :func:`serve_trace` installs its own timer so virtual-clock
+        #: replays calibrate (and schedule) deterministically when given
+        #: a deterministic timer
+        self.timer = time.perf_counter
+        #: online wall-cost estimator; pass a warmed one to carry
+        #: calibration across server lifetimes
+        self.pricer = pricer if pricer is not None else JobPricer()
         self._queues: "OrderedDict[str, deque]" = OrderedDict()
         self._weights: dict = {}
         self._deficit: dict = {}
+        self._slo: dict = {}
         for tenant in tenants:
             self.register_tenant(tenant)
         if cache is not None:
@@ -152,6 +202,11 @@ class Server:
         self._datasets: "OrderedDict[DatasetSpec, tuple]" = OrderedDict()
         self._engines: dict = {}
         self._oracles: dict = {}
+        #: req_id -> (deadline, admission price or None) for queued requests
+        self._meta: dict = {}
+        #: EWMA of unique-jobs / window-size per round (adaptive batching
+        #: discounts the window by how much coalescing is expected)
+        self._unique_frac = 1.0
         self._executor: Optional[ProcessPoolExecutor] = None
         self._batch_seq = 0
 
@@ -173,21 +228,83 @@ class Server:
             self._queues[tenant.name] = deque()
             self._deficit[tenant.name] = 0.0
         self._weights[tenant.name] = tenant.weight
+        self._slo[tenant.name] = tenant.slo_seconds
 
     def pending(self) -> int:
         return sum(len(q) for q in self._queues.values())
 
+    def _deadline_of(self, req: ServeRequest) -> float:
+        return self._meta.get(req.req_id, (math.inf, None))[0]
+
+    def _cache_would_hit(self, job: JobSpec) -> bool:
+        """Silent probe: would this job short-circuit through the cache?"""
+        if self.cache is None:
+            return False
+        try:
+            app, data = self._dataset(job.dataset)
+        except ReproError:
+            return False
+        engine = self._engine(job.engine)
+        return self.cache.contains(RunCache.key(engine, app, data, job.config))
+
+    def _admission_price(self, req: ServeRequest) -> Optional[float]:
+        """Predicted wall cost of one enqueued request, cache-aware.
+
+        A job the run cache would short-circuit costs (practically)
+        nothing, whatever the model says — without the probe, repeat-heavy
+        traces would predictively reject work the server serves for free.
+        """
+        if self._cache_would_hit(req.job):
+            return 0.0
+        return self.pricer.price(req.job, self._dataset)
+
+    def _predicted_violation(
+        self, req: ServeRequest, deadline: float, price: Optional[float], now: float
+    ) -> Optional[str]:
+        """Evidence string when the deadline is provably unreachable.
+
+        Conservative: requires the request's own price *and* the price of
+        every queued request with an earlier-or-equal deadline (the work
+        EDF will serve first).  Any unpriced job in that set vetoes the
+        rejection — admission only sheds on evidence, never on a guess.
+        """
+        if price is None:
+            return None
+        backlog = 0.0
+        for queue in self._queues.values():
+            for queued in queue:
+                q_deadline, q_price = self._meta.get(
+                    queued.req_id, (math.inf, None)
+                )
+                if q_deadline > deadline:
+                    continue
+                if q_price is None:
+                    return None
+                backlog += q_price
+        eta = now + backlog + price
+        if eta <= deadline:
+            return None
+        return (
+            f"predicted completion {eta:.4f}s > deadline {deadline:.4f}s "
+            f"(priced backlog {backlog:.4f}s + service {price:.4f}s "
+            f"at t={now:.4f}s)"
+        )
+
     def submit(self, req: ServeRequest, now: float = 0.0) -> Optional[ServeResponse]:
-        """Admit a request, or reject it when the backlog is full.
+        """Admit a request, or reject it when the backlog is full or its
+        deadline is already priced as unreachable.
 
         Returns the terminal rejection response, or ``None`` on admission
         (the response then comes out of a later :meth:`dispatch_round`).
         """
         if req.tenant not in self._queues:
             self.register_tenant(TenantSpec(req.tenant, 1.0))
+        deadline = req.arrival + self._slo.get(req.tenant, math.inf)
         self.metrics.submitted += 1
         bucket = self.metrics.tenant(req.tenant)
         bucket["submitted"] += 1
+        if math.isfinite(deadline):
+            self.metrics.slo_total += 1
         if self.pending() >= self.config.max_queue:
             self.metrics.rejected += 1
             bucket["rejected"] += 1
@@ -198,17 +315,68 @@ class Server:
                 arrival=req.arrival,
                 dispatch=now,
                 completion=now,
+                deadline=deadline,
                 error="queue full",
             )
+        price: Optional[float] = None
+        if self.config.scheduling == "edf" and math.isfinite(deadline):
+            price = self._admission_price(req)
+            evidence = self._predicted_violation(req, deadline, price, now)
+            if evidence is not None:
+                self.metrics.rejected += 1
+                self.metrics.rejected_predicted += 1
+                bucket["rejected"] += 1
+                exc = SloViolationError(evidence)
+                return ServeResponse(
+                    req_id=req.req_id,
+                    tenant=req.tenant,
+                    status="rejected",
+                    arrival=req.arrival,
+                    dispatch=now,
+                    completion=now,
+                    deadline=deadline,
+                    error=str(exc),
+                    exception=exc,
+                )
         self.metrics.admitted += 1
         self._queues[req.tenant].append(req)
+        self._meta[req.req_id] = (deadline, price)
         return None
 
     # --------------------------------------------------------- scheduling
-    def _select_window(self) -> list:
-        """One WDRR dispatch window (up to ``max_batch`` requests)."""
+    def _window_limit(self, now: float) -> int:
+        """Dispatch window size for this round.
+
+        Fixed at ``max_batch`` unless ``adaptive_batch`` is on and the
+        pricer has calibrated: then the window is the largest one whose
+        predicted service time (per-run wall x expected unique fraction)
+        still fits the tightest deadline slack in the queues — large
+        batches amortize while slack is plentiful, small urgent rounds
+        ship when a deadline is close.
+        """
+        cfg = self.config
+        if not cfg.adaptive_batch:
+            return cfg.max_batch
+        per_run = self.pricer.run_wall
+        if per_run is None or per_run <= 0.0:
+            return cfg.max_batch
+        slack = math.inf
+        for queue in self._queues.values():
+            for queued in queue:
+                deadline = self._deadline_of(queued)
+                if math.isfinite(deadline):
+                    slack = min(slack, deadline - now)
+        if not math.isfinite(slack):
+            return cfg.max_batch
+        if slack <= 0.0:
+            return cfg.min_batch
+        limit = int(slack / (per_run * max(self._unique_frac, 0.05)))
+        return max(cfg.min_batch, min(cfg.max_batch, limit))
+
+    def _select_wdrr(self, limit: int) -> list:
+        """One classic WDRR dispatch window (up to ``limit`` requests)."""
         window: list = []
-        while len(window) < self.config.max_batch:
+        while len(window) < limit:
             if not any(self._queues.values()):
                 break
             for name, queue in self._queues.items():
@@ -220,35 +388,147 @@ class Server:
                 while (
                     queue
                     and self._deficit[name] >= 1.0
-                    and len(window) < self.config.max_batch
+                    and len(window) < limit
                 ):
                     window.append(queue.popleft())
                     self._deficit[name] -= 1.0
-                if len(window) >= self.config.max_batch:
+                if len(window) >= limit:
                     break
         return window
+
+    def _select_fifo(self, limit: int) -> list:
+        """Deadline-blind global arrival order (the baseline policy)."""
+        window: list = []
+        while len(window) < limit:
+            best: Optional[str] = None
+            for name, queue in self._queues.items():
+                if not queue:
+                    continue
+                if best is None or (
+                    (queue[0].arrival, queue[0].req_id)
+                    < (
+                        self._queues[best][0].arrival,
+                        self._queues[best][0].req_id,
+                    )
+                ):
+                    best = name
+            if best is None:
+                break
+            window.append(self._queues[best].popleft())
+        return window
+
+    def _select_edf(self, limit: int) -> list:
+        """EDF with WDRR-deficit tiebreak.
+
+        Every pick takes the queue head with the earliest deadline; ties
+        resolve to the tenant with the larger banked deficit (then
+        registration order), and each pick charges the chosen tenant one
+        unit while crediting the other backlogged tenants in proportion
+        to their weights — so sustained equal-deadline contention
+        converges to the same weighted shares WDRR would give.
+        """
+        window: list = []
+        while len(window) < limit:
+            best: Optional[str] = None
+            best_key: Optional[tuple] = None
+            for idx, (name, queue) in enumerate(self._queues.items()):
+                if not queue:
+                    self._deficit[name] = 0.0
+                    continue
+                key = (self._deadline_of(queue[0]), -self._deficit[name], idx)
+                if best_key is None or key < best_key:
+                    best_key, best = key, name
+            if best is None:
+                break
+            window.append(self._queues[best].popleft())
+            self._deficit[best] -= 1.0
+            backlogged = [name for name, q in self._queues.items() if q]
+            total = sum(self._weights[name] for name in backlogged)
+            for name in backlogged:
+                cap = 4.0 * max(1.0, self.config.quantum * self._weights[name])
+                self._deficit[name] = min(
+                    cap, self._deficit[name] + self._weights[name] / total
+                )
+        return window
+
+    def _shed_doomed(self, now: float) -> list:
+        """Remove every queued request whose deadline has already passed.
+
+        Such a request is *provably* doomed: its completion would be
+        ``>= now > deadline``, so dropping it can never cost a request
+        that would have met its deadline.  Deadline-blind (fifo) servers
+        never shed — that is the baseline's burden.
+        """
+        if self.config.scheduling != "edf":
+            return []
+        shed: list = []
+        for queue in self._queues.values():
+            if not queue:
+                continue
+            keep = [r for r in queue if not now > self._deadline_of(r)]
+            if len(keep) != len(queue):
+                shed.extend(r for r in queue if now > self._deadline_of(r))
+                queue.clear()
+                queue.extend(keep)
+        return shed
+
+    def _select_window(self, now: float = 0.0) -> list:
+        """Pick one dispatch window (up to the adaptive window limit)."""
+        limit = self._window_limit(now)
+        if self.config.scheduling == "fifo":
+            return self._select_fifo(limit)
+        if any(
+            math.isfinite(self._deadline_of(r))
+            for q in self._queues.values()
+            for r in q
+        ):
+            return self._select_edf(limit)
+        return self._select_wdrr(limit)
 
     def dispatch_round(self, now: float = 0.0) -> list:
         """Select one window, execute it as batches, return its responses.
 
         Responses carry ``dispatch`` stamps but no ``completion`` — the
         caller knows when the round finished (wall-measured or virtual)
-        and must pass the responses through :meth:`finish`.
+        and must pass the responses through :meth:`finish`.  Shed
+        requests come back as typed terminals in the same list.
         """
-        window = self._select_window()
-        if not window:
-            return []
-        responses: dict = {}
-        for batch in coalesce(window):
-            responses.update(self._execute_batch(batch, now))
-        return [responses[req.req_id] for req in window]
+        shed = self._shed_doomed(now)
+        window = self._select_window(now)
+        out: list = []
+        for req in shed:
+            resp = self._terminal(req, "shed", -1, now)
+            exc = SloViolationError(
+                f"deadline {resp.deadline:.4f}s had already passed at "
+                f"dispatch time {now:.4f}s"
+            )
+            resp.error = str(exc)
+            resp.exception = exc
+            self.metrics.shed += 1
+            out.append(resp)
+        if window:
+            responses: dict = {}
+            for batch in coalesce(window):
+                responses.update(self._execute_batch(batch, now))
+            unique = len({(batch_key(r.job), unique_key(r.job)) for r in window})
+            self._unique_frac = 0.7 * self._unique_frac + 0.3 * (
+                unique / len(window)
+            )
+            out.extend(responses[req.req_id] for req in window)
+        for req in window + shed:
+            self._meta.pop(req.req_id, None)
+        return out
 
     def finish(self, responses: list, completion: float) -> None:
         """Stamp completion times and fold the round into the metrics."""
         for resp in responses:
             resp.completion = completion
             self.metrics.observe_completion(
-                resp.tenant, resp.completion - resp.arrival, resp.status
+                resp.tenant,
+                resp.completion - resp.arrival,
+                resp.status,
+                deadline=resp.deadline,
+                completion=resp.completion,
             )
 
     def drain(self, now: float = 0.0) -> list:
@@ -306,6 +586,7 @@ class Server:
             arrival=req.arrival,
             dispatch=now,
             batch_id=batch_id,
+            deadline=self._deadline_of(req),
         )
 
     def _execute_batch(self, batch: Batch, now: float) -> dict:
@@ -347,7 +628,19 @@ class Server:
             else:
                 to_run.append((reqs, app, data, key, disk_key))
 
+        # timed engine-run section: one batch is one (app, engine) cell,
+        # so its wall time is one clean calibration sample for the pricer
+        start = self.timer()
         outcomes = self._run_unique(engine, to_run)
+        elapsed = max(self.timer() - start, 0.0)
+        n_runs = sum(1 for o in outcomes if not isinstance(o, Exception))
+        if to_run:
+            self.pricer.observe_batch(
+                [reqs[0].job for reqs, *_ in to_run],
+                elapsed,
+                n_runs,
+                self._dataset,
+            )
         for (reqs, app, data, key, disk_key), outcome in zip(to_run, outcomes):
             job = reqs[0].job
             if isinstance(outcome, Exception):
@@ -479,8 +772,12 @@ def serve_trace(
     idle, and advances by the *measured* wall duration of every dispatch
     round. All arrivals at or before the current clock are admitted before
     each round, so overload (arrivals outpacing service) fills the queue
-    and exercises admission control exactly as a live server would.
+    and exercises admission control exactly as a live server would.  The
+    server calibrates its pricer with the same ``timer``, so a replay
+    with a deterministic timer makes every scheduling, shedding and
+    admission decision reproducible.
     """
+    server.timer = timer
     arrivals = sorted(requests, key=lambda r: (r.arrival, r.req_id))
     out: list = []
     clock = 0.0

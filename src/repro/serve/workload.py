@@ -20,6 +20,7 @@ how the benchmark sweeps load levels.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, replace
 from typing import Optional
 
@@ -33,16 +34,27 @@ from repro.units import MiB
 
 @dataclass(frozen=True)
 class TenantSpec:
-    """One tenant of the service and its fair-share weight."""
+    """One tenant of the service: fair-share weight plus an optional SLO."""
 
     name: str
     weight: float = 1.0
+    #: latency SLO in milliseconds: every request of this tenant carries the
+    #: deadline ``arrival + slo_ms/1000`` on the serving clock. ``None``
+    #: means best-effort (no deadline; never shed, never priced-rejected).
+    slo_ms: Optional[float] = None
 
     def __post_init__(self):
         if not self.name:
             raise ReproError("tenant needs a name")
         if self.weight <= 0:
             raise ReproError(f"tenant {self.name!r} needs a positive weight")
+        if self.slo_ms is not None and self.slo_ms <= 0:
+            raise ReproError(f"tenant {self.name!r} needs a positive slo_ms")
+
+    @property
+    def slo_seconds(self) -> float:
+        """The SLO as seconds on the serving clock (``inf`` = best-effort)."""
+        return math.inf if self.slo_ms is None else self.slo_ms / 1000.0
 
 
 #: the stock three-tenant mix used by the CLI and the benchmarks
@@ -51,6 +63,11 @@ DEFAULT_TENANTS = (
     TenantSpec("beta", 2.0),
     TenantSpec("gamma", 4.0),
 )
+
+
+def with_slo(tenants: tuple, slo_ms: Optional[float]) -> tuple:
+    """The same tenant mix with every tenant's SLO set to ``slo_ms``."""
+    return tuple(replace(t, slo_ms=slo_ms) for t in tenants)
 
 
 @dataclass
@@ -76,8 +93,11 @@ class TraceSpec:
     tenants: tuple = DEFAULT_TENANTS
     #: registry apps the job pool draws from
     apps: tuple = ("wordcount", "dna")
-    #: stock engine names the job pool draws from
-    engines: tuple = ("bigkernel",)
+    #: stock engine names the job pool draws from. The default mix pairs
+    #: the paper engine with the unified-memory competitor so the serving
+    #: path exercises an engine family the analytic predictor cannot price
+    #: (UVM jobs are costed purely from the observed-wall calibration loop)
+    engines: tuple = ("bigkernel", "gpu_uvm")
     #: mapped bytes per generated dataset
     data_bytes: int = 1 * MiB
     #: distinct dataset seeds per app (pool size drives cache locality)

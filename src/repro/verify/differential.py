@@ -917,6 +917,10 @@ class ServeReport:
     coalesced: int = 0
     served: int = 0
     engine_runs: int = 0
+    #: typed SLO terminals from the overloaded phase (shed + predicted
+    #: rejections) — not mismatches, but accounted and type-checked
+    shed: int = 0
+    rejected: int = 0
 
     @property
     def mismatches(self) -> list[ServeEntry]:
@@ -928,9 +932,10 @@ class ServeReport:
 
     def summary(self) -> str:
         lines = [
-            f"serve vs one-shot: {len(self.entries)} requests "
+            f"serve vs one-shot: {len(self.entries)} grades "
             f"({self.served} served, {self.coalesced} coalesced, "
-            f"{self.cached} cached; {self.engine_runs} engine runs), "
+            f"{self.cached} cached; {self.engine_runs} engine runs; "
+            f"slo phase shed {self.shed}, rejected {self.rejected}), "
             f"{len(self.mismatches)} mismatch(es)"
         ]
         for e in self.mismatches:
@@ -966,15 +971,28 @@ def run_serve_differential(
     be exactly equal and outputs bit-equal with zero tolerance. The queue
     is sized above the trace so nothing is rejected: in this pillar a
     rejection or a failure is itself a mismatch.
+
+    A second, *overloaded* phase then replays the same trace compressed
+    into a burst with every tenant carrying a tight SLO (derived from the
+    first phase's measured mean service time) through the EDF + admission
+    + adaptive-batching stack: completed responses must still bit-equal
+    the same oracles, while shed and predictively rejected responses must
+    be properly *typed* terminals (a
+    :class:`~repro.errors.SloViolationError` on the response) and the
+    accounting identities must close exactly — the SLO machinery may drop
+    work, but never silently and never incorrectly.
     """
     from repro.bench.sweep import RunCache
+    from repro.errors import SloViolationError
     from repro.serve import (
         ServeConfig,
         Server,
         TraceSpec,
         generate_trace,
         oneshot_oracle,
+        scale_trace,
         serve_trace,
+        with_slo,
     )
 
     spec = TraceSpec(
@@ -994,19 +1012,41 @@ def run_serve_differential(
         served=outcome.metrics.served,
         engine_runs=outcome.metrics.engine_runs,
     )
-    for resp in outcome.responses:
+    def grade(resp, phase: str, slo_phase: bool) -> None:
         tenant, job = jobs[resp.req_id]
         entry = ServeEntry(
             req_id=resp.req_id,
             tenant=tenant,
             app=job.dataset.app,
             engine=job.engine.name,
-            status=resp.status,
+            status=f"{phase}:{resp.status}",
             ok=True,
         )
-        if resp.status in ("rejected", "failed"):
-            entry.ok = False
-            entry.detail = resp.error or f"request {resp.status}"
+        if resp.status in ("rejected", "failed", "shed"):
+            if not slo_phase:
+                # phase 1 is sized so nothing is rejected or dropped
+                entry.ok = False
+                entry.detail = resp.error or f"request {resp.status}"
+            elif resp.status == "failed":
+                entry.ok = False
+                entry.detail = resp.error or "request failed"
+            elif resp.status == "shed":
+                report.shed += 1
+                if not isinstance(resp.exception, SloViolationError):
+                    entry.ok = False
+                    entry.detail = (
+                        "shed response lacks a typed SloViolationError"
+                    )
+            else:
+                report.rejected += 1
+                queue_full = resp.error == "queue full"
+                typed = isinstance(resp.exception, SloViolationError)
+                if not (queue_full or typed):
+                    entry.ok = False
+                    entry.detail = (
+                        "rejection is neither queue-full nor a typed "
+                        "SloViolationError"
+                    )
         else:
             key = (job.dataset, job.engine, job.config)
             oracle = oracles.get(key)
@@ -1029,4 +1069,46 @@ def run_serve_differential(
                 entry.ok = False
                 entry.detail = "; ".join(problems)
         report.entries.append(entry)
+
+    for resp in outcome.responses:
+        grade(resp, "open", slo_phase=False)
+
+    # --- phase 2: burst overload with tight SLOs through EDF + admission ---
+    mean_service = outcome.makespan / max(outcome.metrics.completed, 1)
+    slo_ms = 1000.0 * 5.0 * mean_service
+    slo_config = ServeConfig(
+        max_queue=max(8, len(trace) // 4),
+        scheduling="edf",
+        adaptive_batch=True,
+    )
+    with Server(
+        slo_config,
+        tenants=with_slo(spec.tenants, slo_ms),
+        cache=RunCache(disk=None),
+    ) as server:
+        slo_outcome = serve_trace(server, scale_trace(trace, 1e-3))
+    report.engine_runs += slo_outcome.metrics.engine_runs
+    for resp in slo_outcome.responses:
+        grade(resp, "slo", slo_phase=True)
+
+    m = slo_outcome.metrics
+    if m.submitted != m.admitted + m.rejected or m.admitted != (
+        m.completed + m.failed + m.shed
+    ):
+        report.entries.append(
+            ServeEntry(
+                req_id=-1,
+                tenant="*",
+                app="*",
+                engine="*",
+                status="slo:accounting",
+                ok=False,
+                detail=(
+                    f"identity violated: submitted={m.submitted} "
+                    f"admitted={m.admitted} rejected={m.rejected} "
+                    f"completed={m.completed} failed={m.failed} "
+                    f"shed={m.shed}"
+                ),
+            )
+        )
     return report
